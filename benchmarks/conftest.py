@@ -1,0 +1,49 @@
+"""Shared fixtures for the per-figure/table benchmark suite.
+
+Conventions:
+
+* every bench uses the ``benchmark`` fixture (so ``--benchmark-only``
+  selects all of them) with ``pedantic(rounds=1)`` — each experiment
+  driver is already a full sweep, repeating it only burns time;
+* every bench *prints* a paper-style table (run with ``-s`` to see it)
+  and *asserts* the paper's qualitative claims — who wins, in what
+  direction trends move;
+* every bench records its rows into ``benchmarks/results/*.json`` so
+  EXPERIMENTS.md can be regenerated from a bench run
+  (``python examples/regenerate_experiments.py``).
+
+Scale: dataset stand-ins are 10^4–10^5 edges (see DESIGN.md §2);
+partition counts are trimmed to keep the full suite within a few
+minutes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Store an experiment's rows as JSON: ``record(name, rows)``."""
+    def _record(name: str, rows) -> None:
+        path = results_dir / f"{name}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2, default=str)
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

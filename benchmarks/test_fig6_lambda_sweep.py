@@ -1,0 +1,46 @@
+"""Figure 6 — iterations and replication factor vs expansion factor λ.
+
+Paper: at 32 partitions, the number of iterations decreases roughly
+linearly in λ (fewer than 10 iterations at λ=1 on every dataset), while
+RF is flat from 1e-4 to 1e-1 and degrades at λ=1.  The paper picks
+λ = 0.1 from this trade-off.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_lambda_sweep
+from repro.bench.harness import format_table
+from repro.graph import load_dataset
+
+from conftest import run_once
+
+LAMS = (1e-3, 1e-2, 1e-1, 1.0)
+
+
+@pytest.mark.parametrize("dataset", ["pokec", "flickr"])
+def test_fig6_lambda_sweep(benchmark, record, dataset):
+    graph = load_dataset(dataset)
+    rows = run_once(benchmark, fig6_lambda_sweep, graph,
+                    num_partitions=32, lams=LAMS)
+    record(f"fig6_{dataset}", rows)
+
+    print("\n" + format_table(
+        ["lambda", "iterations", "RF"],
+        [[r["lambda"], r["iterations"], r["replication_factor"]]
+         for r in rows],
+        title=f"Figure 6 ({dataset} stand-in, 32 partitions)"))
+
+    iters = [r["iterations"] for r in rows]
+    rfs = [r["replication_factor"] for r in rows]
+    # iterations strictly decrease as lambda grows
+    assert all(b < a for a, b in zip(iters, iters[1:]))
+    # lambda = 1 collapses the iteration count by orders of magnitude.
+    # (The paper reports < 10 on its datasets; the flickr stand-in ends
+    # with an isolated-edge tail — the same effect §7.3 describes for
+    # the real Flickr — which adds a few single-edge iterations.)
+    assert iters[-1] <= 30
+    assert iters[-1] < iters[0] / 10
+    # quality at the paper's lambda=0.1 beats the full flush
+    assert rfs[2] < rfs[3]
+    # and is close to the tiny-lambda quality (flat region)
+    assert rfs[2] <= rfs[0] * 1.25

@@ -1,0 +1,103 @@
+"""Figure 8 — replication factor across methods, datasets, and |P|.
+
+Paper claims reproduced here:
+
+* (a–g) Distributed NE produces the lowest (or tied-lowest) RF among
+  the distributed methods on every skewed graph, with the gap widening
+  at larger |P|;
+* hash-based methods (Random, Grid, Spinner) are the clearly worst
+  family;
+* (h–j) on RMAT, RF grows with edge factor but is nearly constant
+  across scales at fixed edge factor ("difficulty depends on
+  complexity, not scale").
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig8_replication_factor, fig8_rmat_replication
+from repro.bench.harness import format_table
+
+from conftest import run_once
+
+#: full method set on the small stand-ins (spinner/metis are the slow ones)
+METHODS = ("random", "grid", "oblivious", "hybrid_ginger", "spinner",
+           "metis_like", "sheep", "xtrapulp", "distributed_ne")
+HASH_FAMILY = {"random", "grid", "spinner"}
+DISTRIBUTED_RIVALS = ("oblivious", "hybrid_ginger", "spinner", "sheep",
+                      "xtrapulp")
+
+
+@pytest.mark.parametrize("dataset", ["pokec", "flickr", "livejournal",
+                                     "orkut"])
+def test_fig8_small_datasets(benchmark, record, dataset):
+    rows = run_once(benchmark, fig8_replication_factor,
+                    datasets=(dataset,), methods=METHODS,
+                    partition_counts=(4, 16, 64))
+    record(f"fig8_{dataset}", rows)
+    _print_panel(dataset, rows)
+
+    for p in (4, 16, 64):
+        rf = {r["method"]: r["replication_factor"]
+              for r in rows if r["partitions"] == p}
+        # D.NE beats every distributed rival on the skewed stand-ins.
+        # The paper itself concedes the small-|P| regime ("in Flickr and
+        # Twitter of 4 to 16 partitions, Sheep is slightly better"), so
+        # the tolerance loosens below 16 partitions.
+        slack = 1.05 if p >= 16 else 1.20
+        for rival in DISTRIBUTED_RIVALS:
+            assert rf["distributed_ne"] <= rf[rival] * slack, (p, rival)
+        # And beats random hashing by a wide margin.
+        assert rf["distributed_ne"] < 0.8 * rf["random"]
+
+
+@pytest.mark.parametrize("dataset", ["twitter", "friendster", "webuk"])
+def test_fig8_large_datasets(benchmark, record, dataset):
+    """The scale-14 stand-ins, fast methods only."""
+    methods = ("random", "grid", "sheep", "xtrapulp", "distributed_ne")
+    rows = run_once(benchmark, fig8_replication_factor,
+                    datasets=(dataset,), methods=methods,
+                    partition_counts=(16,))
+    record(f"fig8_{dataset}", rows)
+    _print_panel(dataset, rows)
+
+    rf = {r["method"]: r["replication_factor"] for r in rows}
+    assert rf["distributed_ne"] < rf["random"]
+    assert rf["distributed_ne"] < rf["grid"]
+
+
+def test_fig8_rmat_trends(benchmark, record):
+    rows = run_once(benchmark, fig8_rmat_replication,
+                    scales=(10, 11, 12), edge_factors=(4, 8, 16),
+                    methods=("grid", "distributed_ne"), num_partitions=16)
+    record("fig8_rmat", rows)
+
+    print("\n" + format_table(
+        ["scale", "EF", "method", "RF"],
+        [[r["scale"], r["edge_factor"], r["method"],
+          r["replication_factor"]] for r in rows],
+        title="Figure 8(h-j): RMAT, 16 partitions"))
+
+    dne = {(r["scale"], r["edge_factor"]): r["replication_factor"]
+           for r in rows if r["method"] == "distributed_ne"}
+    # RF grows with edge factor at fixed scale.
+    for scale in (10, 11, 12):
+        assert dne[(scale, 4)] < dne[(scale, 16)]
+    # RF roughly scale-invariant at fixed edge factor (paper: "almost
+    # the same in the different scales").
+    for ef in (4, 8, 16):
+        series = [dne[(s, ef)] for s in (10, 11, 12)]
+        assert max(series) / min(series) < 1.4, (ef, series)
+
+
+def _print_panel(dataset, rows):
+    partitions = sorted({r["partitions"] for r in rows})
+    methods = sorted({r["method"] for r in rows})
+    table = []
+    for m in methods:
+        rf = {r["partitions"]: r["replication_factor"]
+              for r in rows if r["method"] == m}
+        table.append([m] + [rf[p] for p in partitions])
+    print("\n" + format_table(
+        ["method"] + [f"P={p}" for p in partitions], table,
+        title=f"Figure 8: RF on {dataset} stand-in"))

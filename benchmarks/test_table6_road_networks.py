@@ -1,0 +1,41 @@
+"""Table 6 — road networks (the non-skewed control experiment).
+
+Paper: on CA/PA/TX road networks every high-quality method (ParMETIS,
+Sheep, XtraPuLP, D.NE) achieves RF ~ 1.0–1.1 while the hash-based
+methods sit at 2.1–3.7; D.NE is similar or slightly better than the
+rest, but the paper's own take-away is that vertex partitioning is
+perfectly adequate on non-skewed graphs.
+"""
+
+import pytest
+
+from repro.bench.experiments import table6_road_networks
+from repro.bench.harness import TABLE6_METHODS, format_table
+
+from conftest import run_once
+
+
+def test_table6(benchmark, record):
+    rows = run_once(benchmark, table6_road_networks,
+                    datasets=("roadnet-ca", "roadnet-pa", "roadnet-tx"),
+                    methods=TABLE6_METHODS, num_partitions=16)
+    record("table6", rows)
+
+    datasets = ("roadnet-ca", "roadnet-pa", "roadnet-tx")
+    rf = {(r["dataset"], r["method"]): r["replication_factor"]
+          for r in rows}
+    table = [[m] + [rf[(d, m)] for d in datasets] for m in TABLE6_METHODS]
+    print("\n" + format_table(["method"] + list(datasets), table,
+                              title="Table 6: RF on road networks"))
+
+    high_quality = ("metis_like", "sheep", "xtrapulp", "distributed_ne")
+    hash_based = ("random", "grid")
+    for d in datasets:
+        for hq in high_quality:
+            # high-quality methods are near-ideal on non-skewed graphs
+            assert rf[(d, hq)] < 2.0, (d, hq)
+            for hb in hash_based:
+                assert rf[(d, hq)] < rf[(d, hb)], (d, hq, hb)
+        # D.NE among the best (within 15% of the best method)
+        best = min(rf[(d, m)] for m in high_quality)
+        assert rf[(d, "distributed_ne")] <= best * 1.15, d

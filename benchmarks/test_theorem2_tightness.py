@@ -1,0 +1,28 @@
+"""Theorem 2 (Figure 7) — tightness of the Theorem 1 bound.
+
+The ring+complete construction with |P| = n(n-1)/2 has adversarial
+RF/UB -> 1 as n grows; any actual Distributed NE run must stay at or
+below the bound.
+"""
+
+from repro.bench.experiments import theorem2_tightness
+from repro.bench.harness import format_table
+
+from conftest import run_once
+
+
+def test_theorem2_tightness(benchmark, record):
+    rows = run_once(benchmark, theorem2_tightness, ns=(4, 6, 8, 12),
+                    measure=True)
+    record("theorem2", rows)
+
+    print("\n" + format_table(
+        ["n", "adversarial RF", "UB", "ratio", "measured RF"],
+        [[r["n"], r["adversarial_rf"], r["upper_bound"], r["ratio"],
+          r.get("measured_rf", "-")] for r in rows],
+        title="Theorem 2: ring+complete tightness"))
+
+    ratios = [r["ratio"] for r in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))  # -> 1
+    assert ratios[-1] > 0.95
+    assert all(r["measured_le_bound"] for r in rows)

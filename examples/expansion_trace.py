@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Watch parallel expansion happen, iteration by iteration.
+
+Runs Distributed NE with history collection enabled and renders the
+per-iteration trace: how many edges each round allocates, how the
+global boundary grows then drains, and when partitions hit their size
+caps.  This is the raw series behind Figure 6 — rerun with different
+``--lam`` values to see the iteration count collapse.
+
+Run:  python examples/expansion_trace.py [lam]
+      python examples/expansion_trace.py 1.0
+"""
+
+import sys
+
+from repro import CSRGraph, DistributedNE, rmat_edges
+from repro.bench.harness import format_table
+
+
+def main(lam: float = 0.1) -> None:
+    graph = CSRGraph(rmat_edges(scale=10, edge_factor=8, seed=3))
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+          f"expansion factor lambda = {lam}\n")
+
+    result = DistributedNE(num_partitions=8, seed=3, lam=lam,
+                           collect_history=True).partition(graph)
+    history = result.extra["history"]
+
+    # Print every iteration for short runs, every k-th for long ones.
+    step = max(1, len(history) // 20)
+    rows = []
+    prev_allocated = 0
+    for h in history[::step]:
+        rows.append([
+            h["iteration"],
+            h["vertices_selected"],
+            h["allocated_edges"] - prev_allocated if step == 1 else "-",
+            h["allocated_edges"],
+            f"{100.0 * h['allocated_edges'] / graph.num_edges:.1f}%",
+            h["boundary_total"],
+            h["live_partitions"],
+        ])
+        prev_allocated = h["allocated_edges"]
+
+    print(format_table(
+        ["iter", "selected", "newly alloc", "total alloc", "progress",
+         "boundary", "live parts"],
+        rows, title="Parallel expansion trace"))
+
+    print(f"\nfinished in {result.iterations} iterations "
+          f"({result.extra['cluster']['barriers']} barriers), "
+          f"RF = {result.replication_factor():.3f}")
+    print("try `python examples/expansion_trace.py 1.0` — the full-boundary "
+          "flush finishes in a handful of iterations at some quality cost.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.1)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Shootout: every partitioner in the registry on one dataset.
+
+Reproduces a single Figure 8 panel interactively: pick a dataset
+stand-in and a partition count, run all 14 methods, and print them
+sorted by replication factor with balance and timing columns.
+
+Run:  python examples/partitioner_shootout.py [dataset] [partitions]
+      python examples/partitioner_shootout.py orkut 32
+"""
+
+import sys
+
+from repro import PARTITIONER_REGISTRY, load_dataset
+from repro.bench.harness import format_table
+
+
+def main(dataset: str = "pokec", num_partitions: int = 16) -> None:
+    graph = load_dataset(dataset)
+    print(f"{dataset} stand-in: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges -> {num_partitions} partitions\n")
+
+    rows = []
+    for name in sorted(PARTITIONER_REGISTRY):
+        result = PARTITIONER_REGISTRY[name](
+            num_partitions, seed=0).partition(graph)
+        rows.append([
+            name,
+            result.replication_factor(),
+            result.edge_balance(),
+            result.vertex_balance(),
+            result.elapsed_seconds,
+            result.iterations or "-",
+        ])
+    rows.sort(key=lambda r: r[1])
+
+    print(format_table(
+        ["method", "RF", "edge bal", "vertex bal", "seconds", "iters"],
+        rows, title=f"Figure 8-style panel ({dataset}, "
+                    f"P={num_partitions}; lower RF is better)"))
+
+    best = rows[0][0]
+    print(f"\nbest replication factor: {best}")
+    print("expected shape (paper): ne <= distributed_ne < sheep/xtrapulp "
+          "< oblivious/ginger < grid < random on skewed graphs")
+
+
+if __name__ == "__main__":
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "pokec"
+    partitions = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    main(dataset, partitions)

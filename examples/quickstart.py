@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: partition a skewed graph with Distributed NE.
+
+Generates an RMAT graph (the paper's synthetic workload), partitions it
+into 8 parts with Distributed NE, and prints the quality metrics the
+paper reports, next to the Theorem 1 upper bound and a random-hash
+baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CSRGraph,
+    DistributedNE,
+    RandomPartitioner,
+    rmat_edges,
+    theorem1_upper_bound,
+)
+
+
+def main() -> None:
+    # 1. Build a graph.  RMAT Scale12 / EF16 is a ~50k-edge skewed
+    #    graph, a laptop-sized stand-in for the paper's social graphs.
+    edges = rmat_edges(scale=12, edge_factor=16, seed=7)
+    graph = CSRGraph(edges)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"max degree {graph.max_degree()}")
+
+    # 2. Partition with Distributed NE (paper defaults: alpha=1.1,
+    #    lambda=0.1, 2D-hash placement, one machine per partition).
+    partitioner = DistributedNE(num_partitions=8, seed=7)
+    result = partitioner.partition(graph)
+
+    # 3. Inspect the result.
+    print(f"\nDistributed NE ({result.num_partitions} partitions)")
+    print(f"  replication factor : {result.replication_factor():.3f}")
+    print(f"  edge balance       : {result.edge_balance():.3f}")
+    print(f"  vertex balance     : {result.vertex_balance():.3f}")
+    print(f"  iterations         : {result.iterations}")
+    print(f"  elapsed            : {result.elapsed_seconds:.2f}s")
+    print(f"  cluster barriers   : {result.extra['cluster']['barriers']}")
+    print(f"  bytes on the wire  : {result.extra['cluster']['total_bytes']:,}")
+    print(f"  mem score (B/edge) : {result.extra['mem_score']:.1f}")
+
+    # 4. The Theorem 1 guarantee always holds.
+    covered = int(np.count_nonzero(graph.degrees()))
+    bound = theorem1_upper_bound(covered, graph.num_edges, 8)
+    print(f"\nTheorem 1 bound      : {bound:.3f} "
+          f"(measured {result.replication_factor():.3f} <= bound: "
+          f"{result.replication_factor() <= bound})")
+
+    # 5. Against random hashing, the paper's headline gap.
+    baseline = RandomPartitioner(num_partitions=8, seed=7).partition(graph)
+    print(f"\nrandom-hash baseline : RF {baseline.replication_factor():.3f} "
+          f"({baseline.replication_factor() / result.replication_factor():.1f}x "
+          f"worse than Distributed NE)")
+
+    # 6. Per-partition edge lists are ready for a distributed engine.
+    sizes = [len(result.edges_of(p)) for p in range(8)]
+    print(f"partition edge counts: {sizes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The §6 theory, empirically: bounds, tightness, and Table 1.
+
+Three demonstrations:
+
+1. Theorem 1 — run Distributed NE over a bag of random graphs and show
+   the measured RF never exceeds (|E|+|V|+|P|)/|V|;
+2. Theorem 2 — the ring+complete construction's adversarial RF/UB
+   ratio marching to 1;
+3. Table 1 — the closed-form power-law bounds next to the paper's
+   reported numbers.
+
+Run:  python examples/theory_playground.py
+"""
+
+import numpy as np
+
+from repro import CSRGraph, DistributedNE, rmat_edges, theorem1_upper_bound
+from repro.bench.harness import format_table
+from repro.metrics.bounds import (
+    PAPER_TABLE1,
+    TABLE1_ALPHAS,
+    table1_rows,
+    theorem2_construction_rf,
+)
+
+
+def demo_theorem1() -> None:
+    print("Theorem 1: RF <= (|E| + |V| + |P|) / |V| on every run\n")
+    rows = []
+    for seed in range(6):
+        graph = CSRGraph(rmat_edges(9, 4 + seed, seed=seed))
+        p = 4 + 2 * (seed % 3)
+        result = DistributedNE(p, seed=seed).partition(graph)
+        covered = int(np.count_nonzero(graph.degrees()))
+        ub = theorem1_upper_bound(covered, graph.num_edges, p)
+        rows.append([seed, p, result.replication_factor(), ub,
+                     "yes" if result.replication_factor() <= ub else "NO"])
+    print(format_table(["seed", "P", "measured RF", "bound", "holds"],
+                       rows))
+
+
+def demo_theorem2() -> None:
+    print("\nTheorem 2: tightness on ring+complete, |P| = n(n-1)/2\n")
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        rf, ub = theorem2_construction_rf(n)
+        rows.append([n, rf, ub, rf / ub])
+    print(format_table(["n", "adversarial RF", "bound", "ratio"], rows))
+    print("ratio -> 1: the bound is asymptotically tight.")
+
+
+def demo_table1() -> None:
+    print("\nTable 1: expected bounds on power-law graphs (|P|=256)\n")
+    computed = table1_rows(max_degree=200_000)
+    rows = []
+    for method, values in computed.items():
+        rows.append([method]
+                    + [f"{v:.2f}/{p:.2f}" for v, p in
+                       zip(values, PAPER_TABLE1[method])])
+    print(format_table(
+        ["method (ours/paper)"] + [f"a={a}" for a in TABLE1_ALPHAS], rows))
+    print("Distributed NE's bound beats Random and Grid at every alpha,")
+    print("matching the paper's rows to ~1%.  Our DBH row is a tighter")
+    print("mean-field estimate than the loose bound the paper tabulates")
+    print("(see EXPERIMENTS.md), which is why it prints lower.")
+
+
+if __name__ == "__main__":
+    demo_theorem1()
+    demo_theorem2()
+    demo_table1()

@@ -1,0 +1,11 @@
+"""Legacy shim so ``pip install -e . --no-use-pep517`` works offline.
+
+The environment has no ``wheel`` package and no network, so the PEP 517
+editable path (which requires ``bdist_wheel``) is unavailable; this file
+lets setuptools' classic ``develop`` command handle editable installs.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

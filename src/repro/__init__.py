@@ -1,0 +1,102 @@
+"""repro — reproduction of "Distributed Edge Partitioning for
+Trillion-edge Graphs" (Hanai et al., VLDB 2019).
+
+The package implements Distributed Neighbor Expansion (Distributed NE)
+on a simulated distributed runtime, every baseline partitioner the
+paper compares against, the quality metrics and theoretical bounds of
+§6, and a GAS-style application engine for the §7.6 workloads.
+
+Quickstart::
+
+    from repro import CSRGraph, DistributedNE, rmat_edges
+
+    graph = CSRGraph(rmat_edges(scale=12, edge_factor=16, seed=7))
+    result = DistributedNE(num_partitions=8, seed=7).partition(graph)
+    print(result.replication_factor(), result.iterations)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+from repro.graph import (
+    CSRGraph,
+    DATASETS,
+    canonical_edges,
+    complete_graph,
+    erdos_renyi,
+    grid_road_network,
+    load_dataset,
+    powerlaw_chung_lu,
+    ring_graph,
+    ring_plus_complete,
+    rmat_edges,
+)
+from repro.core import DistributedNE
+from repro.partitioners import (
+    DBHPartitioner,
+    EdgePartition,
+    GridPartitioner,
+    HDRFPartitioner,
+    HybridGingerPartitioner,
+    HybridHashPartitioner,
+    MetisLikePartitioner,
+    NEPartitioner,
+    ObliviousPartitioner,
+    PARTITIONER_REGISTRY,
+    Partitioner,
+    RandomPartitioner,
+    SNEPartitioner,
+    SheepPartitioner,
+    SpinnerPartitioner,
+    VertexPartition,
+    XtraPuLPPartitioner,
+    vertex_to_edge_partition,
+)
+from repro.metrics import (
+    balance,
+    edge_balance,
+    replication_factor,
+    theorem1_upper_bound,
+    vertex_balance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "DATASETS",
+    "load_dataset",
+    "canonical_edges",
+    "rmat_edges",
+    "erdos_renyi",
+    "powerlaw_chung_lu",
+    "ring_graph",
+    "complete_graph",
+    "ring_plus_complete",
+    "grid_road_network",
+    "DistributedNE",
+    "EdgePartition",
+    "VertexPartition",
+    "Partitioner",
+    "PARTITIONER_REGISTRY",
+    "RandomPartitioner",
+    "GridPartitioner",
+    "DBHPartitioner",
+    "HybridHashPartitioner",
+    "ObliviousPartitioner",
+    "HDRFPartitioner",
+    "HybridGingerPartitioner",
+    "NEPartitioner",
+    "SNEPartitioner",
+    "SheepPartitioner",
+    "SpinnerPartitioner",
+    "MetisLikePartitioner",
+    "XtraPuLPPartitioner",
+    "vertex_to_edge_partition",
+    "replication_factor",
+    "edge_balance",
+    "vertex_balance",
+    "balance",
+    "theorem1_upper_bound",
+    "__version__",
+]

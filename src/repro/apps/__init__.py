@@ -1,0 +1,17 @@
+"""Distributed graph applications over edge partitions (§7.6).
+
+* :func:`repro.apps.sssp.sssp` — frontier Bellman–Ford (light traffic).
+* :func:`repro.apps.wcc.wcc` — HashMin components (medium traffic).
+* :func:`repro.apps.pagerank.pagerank` — synchronous PageRank (heavy).
+
+All run on :class:`repro.apps.engine.DistributedGraphEngine`, a
+vertex-cut (master/mirror) execution substrate that accounts the
+communication and per-partition load Table 5 reports.
+"""
+
+from repro.apps.engine import AppRunStats, DistributedGraphEngine
+from repro.apps.pagerank import pagerank
+from repro.apps.sssp import sssp
+from repro.apps.wcc import wcc
+
+__all__ = ["DistributedGraphEngine", "AppRunStats", "sssp", "wcc", "pagerank"]

@@ -1,0 +1,187 @@
+"""GAS-style distributed application engine over edge partitions.
+
+§7.6 of the paper evaluates partitionings by running SSSP, WCC, and
+PageRank on PowerLyra and measuring elapsed time, communication volume,
+and workload balance.  This engine reproduces exactly the quantities
+that *depend on the partitioning*:
+
+* each partition holds its edges plus a replica of every incident
+  vertex (vertex-cut execution, as in PowerGraph/PowerLyra);
+* one replica per vertex is the **master** (chosen by hash among the
+  replicas); the others are mirrors;
+* every superstep follows gather → apply → scatter:
+
+  - mirrors push their partial aggregates to the master
+    (``8 bytes`` per pushing mirror — the gather traffic),
+  - masters apply the update,
+  - masters push the new value back to the mirrors of *changed*
+    vertices (the scatter traffic);
+
+* per-partition compute time is measured per superstep; the simulated
+  parallel elapsed time is ``sum over supersteps of max_p(t_p)`` and
+  the workload balance is ``B({total local time per partition})``
+  (§7.6's WB).
+
+Applications (:mod:`repro.apps.sssp`, :mod:`repro.apps.wcc`,
+:mod:`repro.apps.pagerank`) are built on the two primitives
+:meth:`DistributedGraphEngine.gather_sum` / :meth:`gather_min` plus
+:meth:`scatter_changed`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.partitioners.base import EdgePartition
+from repro.partitioners.hashing import splitmix64
+
+__all__ = ["DistributedGraphEngine", "AppRunStats"]
+
+_VALUE_BYTES = 8
+
+
+@dataclass
+class AppRunStats:
+    """Measurements from one application run (one Table 5 cell group)."""
+
+    supersteps: int = 0
+    comm_bytes: int = 0
+    #: simulated parallel time: sum over supersteps of the slowest
+    #: partition's local compute time
+    elapsed_seconds: float = 0.0
+    #: per-partition total local compute seconds (for WB)
+    local_seconds: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def workload_balance(self) -> float:
+        total = self.local_seconds
+        if total.size == 0 or total.mean() == 0:
+            return float("nan")
+        return float(total.max() / total.mean())
+
+
+class DistributedGraphEngine:
+    """Vertex-cut execution substrate bound to one :class:`EdgePartition`."""
+
+    def __init__(self, partition: EdgePartition, seed: int = 0):
+        self.partition = partition
+        self.graph = partition.graph
+        self.p = partition.num_partitions
+        n = self.graph.num_vertices
+
+        # Per-partition local edge arrays (global vertex ids).
+        self.local_src: list[np.ndarray] = []
+        self.local_dst: list[np.ndarray] = []
+        for pid in range(self.p):
+            edges = partition.edges_of(pid)
+            self.local_src.append(edges[:, 0].copy())
+            self.local_dst.append(edges[:, 1].copy())
+
+        # Replica sets: partitions covering each vertex.
+        self.replica_count = np.zeros(n, dtype=np.int64)
+        covered = [np.unique(np.concatenate([s, d]))
+                   if len(s) else np.empty(0, dtype=np.int64)
+                   for s, d in zip(self.local_src, self.local_dst)]
+        self.covered = covered
+        for pid in range(self.p):
+            self.replica_count[covered[pid]] += 1
+
+        # Master election: hash picks one replica per vertex.
+        self.master = np.full(n, -1, dtype=np.int64)
+        pick = splitmix64(np.arange(n), seed=seed)
+        # Build per-vertex replica lists column-by-column to stay vectorised:
+        # repeatedly take the k-th covering partition of each vertex.
+        replica_lists = [[] for _ in range(n)]
+        for pid in range(self.p):
+            for v in covered[pid]:
+                replica_lists[v].append(pid)
+        for v in range(n):
+            reps = replica_lists[v]
+            if reps:
+                self.master[v] = reps[int(pick[v] % np.uint64(len(reps)))]
+        self.replica_lists = replica_lists
+
+        #: mirrors per vertex = replicas - 1 (clipped at 0 for isolated)
+        self.mirror_count = np.maximum(self.replica_count - 1, 0)
+
+    # ------------------------------------------------------------------
+    # Gather primitives
+    # ------------------------------------------------------------------
+    def gather_sum(self, values: np.ndarray, stats: AppRunStats,
+                   weight_by_degree: bool = False) -> np.ndarray:
+        """Sum ``values[u]`` (optionally ``/deg(u)``) over every
+        neighbour u of each vertex; returns the per-vertex totals.
+
+        Each partition computes its local partial sums; mirrors then
+        push nonzero partials to masters (counted traffic).
+        """
+        n = self.graph.num_vertices
+        contrib = values / np.maximum(self.graph.degrees(), 1) \
+            if weight_by_degree else values
+        total = np.zeros(n, dtype=np.float64)
+        local_t = np.zeros(self.p, dtype=np.float64)
+        comm = 0
+        for pid in range(self.p):
+            t0 = time.perf_counter()
+            partial = np.zeros(n, dtype=np.float64)
+            src, dst = self.local_src[pid], self.local_dst[pid]
+            np.add.at(partial, dst, contrib[src])
+            np.add.at(partial, src, contrib[dst])
+            total += partial
+            local_t[pid] += time.perf_counter() - t0
+            # Mirrors with a nonzero partial push one value to the master.
+            pushed = self.covered[pid][
+                (partial[self.covered[pid]] != 0.0)
+                & (self.master[self.covered[pid]] != pid)]
+            comm += len(pushed) * _VALUE_BYTES
+        stats.comm_bytes += comm
+        stats.local_seconds += local_t
+        stats.elapsed_seconds += float(local_t.max()) if self.p else 0.0
+        return total
+
+    def gather_min(self, values: np.ndarray, stats: AppRunStats,
+                   active: np.ndarray, offset: float = 0.0) -> np.ndarray:
+        """Min over neighbours of ``values[u] + offset`` restricted to
+        active source vertices; inactive-only neighbourhoods yield inf.
+
+        The primitive behind SSSP (offset=1 hop cost) and WCC label
+        minimisation (offset=0, labels as float values).
+        """
+        n = self.graph.num_vertices
+        best = np.full(n, np.inf, dtype=np.float64)
+        local_t = np.zeros(self.p, dtype=np.float64)
+        comm = 0
+        for pid in range(self.p):
+            t0 = time.perf_counter()
+            src, dst = self.local_src[pid], self.local_dst[pid]
+            partial = np.full(n, np.inf, dtype=np.float64)
+            mask = active[src]
+            if mask.any():
+                np.minimum.at(partial, dst[mask], values[src[mask]] + offset)
+            mask = active[dst]
+            if mask.any():
+                np.minimum.at(partial, src[mask], values[dst[mask]] + offset)
+            np.minimum(best, partial, out=best)
+            local_t[pid] += time.perf_counter() - t0
+            pushed = self.covered[pid][
+                np.isfinite(partial[self.covered[pid]])
+                & (self.master[self.covered[pid]] != pid)]
+            comm += len(pushed) * _VALUE_BYTES
+        stats.comm_bytes += comm
+        stats.local_seconds += local_t
+        stats.elapsed_seconds += float(local_t.max()) if self.p else 0.0
+        return best
+
+    # ------------------------------------------------------------------
+    # Scatter primitive
+    # ------------------------------------------------------------------
+    def scatter_changed(self, changed_mask: np.ndarray,
+                        stats: AppRunStats) -> None:
+        """Masters broadcast new values of changed vertices to mirrors."""
+        stats.comm_bytes += int(
+            self.mirror_count[changed_mask].sum()) * _VALUE_BYTES
+
+    def finish_superstep(self, stats: AppRunStats) -> None:
+        stats.supersteps += 1

@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment drivers and table formatters.
+
+* :mod:`repro.bench.harness` — uniform method runner, memory model,
+  table/series formatting.
+* :mod:`repro.bench.experiments` — one driver per paper figure/table
+  (see DESIGN.md §4 for the experiment index).
+"""
+
+from repro.bench.harness import (
+    PERFORMANCE_METHODS,
+    QUALITY_METHODS,
+    TABLE5_METHODS,
+    TABLE6_METHODS,
+    format_series,
+    format_table,
+    mem_score,
+    method_memory_bytes,
+    run_method,
+)
+from repro.bench import experiments
+
+__all__ = [
+    "run_method",
+    "mem_score",
+    "method_memory_bytes",
+    "format_table",
+    "format_series",
+    "QUALITY_METHODS",
+    "PERFORMANCE_METHODS",
+    "TABLE5_METHODS",
+    "TABLE6_METHODS",
+    "experiments",
+]

@@ -1,0 +1,98 @@
+"""Cost-model extrapolation to the paper's trillion-edge configuration.
+
+§7.4 partitions RMAT Scale30 / EF1024 (2^30 vertices, 2^40 edges) on
+256 machines in 69.7 minutes.  We cannot run that graph, but we *can*
+measure the simulator's weak-scaling series (Figure 10(j) protocol) and
+fit the paper's own cost structure to it:
+
+    T(machines, edges) = a * edges/machines  +  b * machines  +  c
+
+* the first term is the per-machine allocation work (edges are spread
+  across machines);
+* the second is the coordination cost that §7.4 reports growing
+  linearly with machine count (vertex-selection imbalance +
+  communication);
+* ``c`` is fixed overhead.
+
+:func:`fit_cost_model` least-squares fits (a, b, c) from measured runs;
+:func:`extrapolate` evaluates the model at any target, e.g. the
+trillion-edge point.  The absolute prediction is a simulator number —
+the point of the exercise is the *shape*: the model reproduces the
+paper's linear growth in machines at fixed per-machine load, and lets
+an example show what the Scale30 run would cost on this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CostModel", "fit_cost_model", "extrapolate",
+           "TRILLION_EDGE_CONFIG"]
+
+#: The paper's §7.4 target: RMAT Scale30, EF 1024, one machine per
+#: partition.  (2^30 vertices, ~2^40 edges, 256 machines, 69.7 min.)
+TRILLION_EDGE_CONFIG = {
+    "vertices": 2 ** 30,
+    "edges": 2 ** 40,
+    "machines": 256,
+    "paper_minutes": 69.7,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Fitted coefficients of ``T = a*edges/machines + b*machines + c``."""
+
+    per_edge_per_machine: float  # a
+    per_machine: float           # b
+    fixed: float                 # c
+
+    def predict_seconds(self, edges: int, machines: int) -> float:
+        if machines < 1 or edges < 0:
+            raise ValueError("need machines >= 1 and edges >= 0")
+        return (self.per_edge_per_machine * edges / machines
+                + self.per_machine * machines + self.fixed)
+
+
+def fit_cost_model(rows) -> CostModel:
+    """Least-squares fit from weak-scaling measurements.
+
+    ``rows`` is an iterable of dicts with ``machines``, ``edges``, and
+    ``elapsed_seconds`` keys — exactly what
+    :func:`repro.bench.experiments.fig10j_weak_scaling` returns.  Needs
+    at least 3 points.
+    """
+    rows = list(rows)
+    if len(rows) < 3:
+        raise ValueError("need at least 3 measurements to fit 3 coefficients")
+    design = np.array([[r["edges"] / r["machines"], r["machines"], 1.0]
+                       for r in rows], dtype=np.float64)
+    target = np.array([r["elapsed_seconds"] for r in rows],
+                      dtype=np.float64)
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    a, b, c = (float(x) for x in coeffs)
+    # Clamp tiny negative values from noisy fits; cost terms are
+    # physically non-negative.
+    return CostModel(max(a, 0.0), max(b, 0.0), max(c, 0.0))
+
+
+def extrapolate(model: CostModel, edges: int | None = None,
+                machines: int | None = None) -> dict:
+    """Evaluate ``model`` at a target configuration.
+
+    Defaults to the paper's trillion-edge point.  Returns the predicted
+    seconds/minutes plus the paper's measured minutes for context.
+    """
+    edges = TRILLION_EDGE_CONFIG["edges"] if edges is None else edges
+    machines = (TRILLION_EDGE_CONFIG["machines"] if machines is None
+                else machines)
+    seconds = model.predict_seconds(edges, machines)
+    return {
+        "edges": edges,
+        "machines": machines,
+        "predicted_seconds": seconds,
+        "predicted_minutes": seconds / 60.0,
+        "paper_minutes": TRILLION_EDGE_CONFIG["paper_minutes"],
+    }

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Mirrors the workflow of the paper's released tool: partition a graph
+from a file or a registered dataset, inspect a saved partition, list
+available methods/datasets, or run one of the evaluation experiments.
+
+Examples::
+
+    python -m repro list
+    python -m repro partition --dataset pokec --method distributed_ne \
+        --partitions 16 --out pokec.part.npz
+    python -m repro partition --edges my_graph.tsv --method ne -p 8
+    python -m repro inspect pokec.part.npz
+    python -m repro experiment fig6 --dataset pokec
+
+The CLI is a thin shell over the library; everything it does is also
+available programmatically (see README quickstart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench import experiments as experiment_drivers
+from repro.bench.harness import format_table
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.edgelist import load_edges_tsv
+from repro.partitioners import PARTITIONER_REGISTRY
+from repro.partitioners.io import load_partition, save_partition
+
+__all__ = ["main", "build_parser"]
+
+#: experiment name -> (driver, kwargs builder)
+_EXPERIMENTS = {
+    "fig6": lambda args: experiment_drivers.fig6_lambda_sweep(
+        load_dataset(args.dataset), num_partitions=args.partitions),
+    "table1": lambda args: experiment_drivers.table1_bounds(),
+    "theorem2": lambda args: experiment_drivers.theorem2_tightness(),
+    "fig8": lambda args: experiment_drivers.fig8_replication_factor(
+        datasets=(args.dataset,), partition_counts=(args.partitions,)),
+    "fig9": lambda args: experiment_drivers.fig9_memory(
+        datasets=(args.dataset,), num_partitions=args.partitions),
+    "fig10j": lambda args: experiment_drivers.fig10j_weak_scaling(),
+    "table4": lambda args: experiment_drivers.table4_sequential_comparison(
+        datasets=(args.dataset,), num_partitions=args.partitions),
+    "table5": lambda args: experiment_drivers.table5_applications(
+        datasets=(args.dataset,), num_partitions=args.partitions),
+    "table6": lambda args: experiment_drivers.table6_road_networks(
+        num_partitions=args.partitions),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed NE reproduction: partition graphs and "
+                    "rerun the paper's experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list methods and datasets")
+
+    p_part = sub.add_parser("partition", help="partition a graph")
+    source = p_part.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="registered dataset stand-in")
+    source.add_argument("--edges", help="TSV edge-list file (src\\tdst)")
+    p_part.add_argument("--method", default="distributed_ne",
+                        choices=sorted(PARTITIONER_REGISTRY))
+    p_part.add_argument("--partitions", "-p", type=int, default=16)
+    p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument("--out", help="write result to this .npz path")
+
+    p_inspect = sub.add_parser("inspect",
+                               help="print metrics of a saved partition")
+    p_inspect.add_argument("path")
+
+    p_exp = sub.add_parser("experiment", help="run an evaluation driver")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.add_argument("--dataset", default="pokec")
+    p_exp.add_argument("--partitions", "-p", type=int, default=16)
+
+    p_app = sub.add_parser(
+        "app", help="run a graph application on a saved partition")
+    p_app.add_argument("name", choices=["sssp", "wcc", "pagerank"])
+    p_app.add_argument("path", help="partition file from `repro partition`")
+    p_app.add_argument("--source", type=int, default=0,
+                       help="SSSP source vertex")
+    p_app.add_argument("--iterations", type=int, default=20,
+                       help="PageRank iterations")
+
+    return parser
+
+
+def _cmd_list(args) -> int:
+    print("partitioners:")
+    for name in sorted(PARTITIONER_REGISTRY):
+        print(f"  {name}")
+    print("datasets:")
+    for name, spec in sorted(DATASETS.items()):
+        kind = "skewed" if spec.skewed else "road"
+        print(f"  {name:14s} ({kind}; paper size "
+              f"{spec.paper_vertices:,} vertices / "
+              f"{spec.paper_edges:,} edges)")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, seed=args.seed)
+        label = args.dataset
+    else:
+        graph = CSRGraph(load_edges_tsv(args.edges))
+        label = args.edges
+    print(f"{label}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+
+    cls = PARTITIONER_REGISTRY[args.method]
+    result = cls(args.partitions, seed=args.seed).partition(graph)
+    print(f"method={result.method} partitions={args.partitions}")
+    print(f"  replication factor : {result.replication_factor():.3f}")
+    print(f"  edge balance       : {result.edge_balance():.3f}")
+    print(f"  vertex balance     : {result.vertex_balance():.3f}")
+    print(f"  elapsed            : {result.elapsed_seconds:.2f}s")
+    if result.iterations:
+        print(f"  iterations         : {result.iterations}")
+
+    if args.out:
+        save_partition(args.out, result)
+        print(f"  saved to           : {args.out}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.metrics.report import format_report, partition_report
+    result = load_partition(args.path)
+    print(f"{args.path}:")
+    print(format_report(partition_report(result)))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    rows = _EXPERIMENTS[args.name](args)
+    if not rows:
+        print("no rows")
+        return 1
+    if isinstance(rows, dict):
+        rows = [rows]
+    headers = list(rows[0].keys())
+    print(format_table(headers,
+                       [[row.get(h, "") for h in headers] for row in rows],
+                       title=f"experiment: {args.name}"))
+    return 0
+
+
+def _cmd_app(args) -> int:
+    from repro.apps import pagerank, sssp, wcc
+    part = load_partition(args.path)
+    if args.name == "sssp":
+        values, stats = sssp(part, source=args.source)
+        finite = values[np.isfinite(values)] if len(values) else values
+        print(f"sssp from {args.source}: reached {len(finite)} vertices, "
+              f"eccentricity {int(finite.max()) if len(finite) else 0}")
+    elif args.name == "wcc":
+        labels, stats = wcc(part)
+        print(f"wcc: {len(set(labels.tolist()))} components")
+    else:
+        ranks, stats = pagerank(part, iterations=args.iterations)
+        top = int(ranks.argmax())
+        print(f"pagerank: top vertex {top} (rank {ranks[top]:.2e})")
+    print(f"  supersteps        : {stats.supersteps}")
+    print(f"  communication     : {stats.comm_bytes:,} bytes")
+    print(f"  workload balance  : {stats.workload_balance():.3f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "partition": _cmd_partition,
+        "inspect": _cmd_inspect,
+        "experiment": _cmd_experiment,
+        "app": _cmd_app,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`) — exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

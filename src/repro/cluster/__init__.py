@@ -1,0 +1,26 @@
+"""Simulated distributed runtime.
+
+The paper runs on up to 256 MPI machines; this package provides the
+substitute substrate (see DESIGN.md §2): a deterministic, single-host
+message-passing simulator.  Algorithms written against it look like
+their MPI counterparts — named processes exchange tagged messages and
+synchronise on barriers — and the runtime *accounts* for everything the
+paper's evaluation measures: bytes moved, message counts, barrier
+(iteration) counts, and per-process peak memory of registered
+structures.
+
+* :mod:`repro.cluster.accounting` — counters and the byte-sizing model.
+* :mod:`repro.cluster.runtime` — :class:`SimulatedCluster` and
+  :class:`Process`.
+"""
+
+from repro.cluster.accounting import ClusterStats, ProcessStats, payload_nbytes
+from repro.cluster.runtime import Process, SimulatedCluster
+
+__all__ = [
+    "SimulatedCluster",
+    "Process",
+    "ClusterStats",
+    "ProcessStats",
+    "payload_nbytes",
+]

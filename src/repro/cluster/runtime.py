@@ -1,0 +1,171 @@
+"""Deterministic message-passing simulator.
+
+:class:`SimulatedCluster` hosts a set of named :class:`Process` objects
+and gives them the three primitives the paper's algorithm needs:
+
+* ``send(dst, tag, payload)`` — asynchronous tagged message, accounted
+  by the byte-sizing model in :mod:`repro.cluster.accounting`;
+* ``barrier()`` — delivers all in-flight messages and bumps the global
+  barrier counter (the unit Figure 6 counts as an "iteration" cost);
+* ``receive(tag)`` — drain the mailbox for a tag.
+
+Messages between a process and itself are accounted as local (zero
+bytes on the wire, still counted as a message) — matching how the
+paper's implementation co-locates an expansion process and an
+allocation process on each machine and exchanges data through memory.
+
+The simulator is *deterministic*: mailboxes preserve send order, and
+all iteration orders are over sorted process ids.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cluster.accounting import ClusterStats, payload_nbytes
+
+__all__ = ["Process", "SimulatedCluster"]
+
+
+class Process:
+    """Base class for a simulated process.
+
+    Subclasses implement behaviour as plain methods and use
+    :meth:`send` / :meth:`receive`; the cluster injects itself at
+    registration time.  ``pid`` may be any hashable id; the paper's
+    deployment uses pairs like ``("expansion", 3)``.
+    """
+
+    def __init__(self, pid):
+        self.pid = pid
+        self.cluster: SimulatedCluster | None = None
+        self._pending_resident: dict = {}
+
+    # -- wiring --------------------------------------------------------
+    def _attach(self, cluster: "SimulatedCluster") -> None:
+        self.cluster = cluster
+        # Flush memory reports made before registration (constructors
+        # typically register their initial structures).
+        for name, nbytes in self._pending_resident.items():
+            cluster.stats.stats_for(self.pid).set_resident(name, nbytes)
+        self._pending_resident.clear()
+
+    # -- messaging -----------------------------------------------------
+    def send(self, dst, tag: str, payload=None) -> None:
+        """Send ``payload`` to process ``dst`` under ``tag``."""
+        assert self.cluster is not None, "process not registered with a cluster"
+        self.cluster._send(self.pid, dst, tag, payload)
+
+    def receive(self, tag: str) -> list:
+        """Pop and return all delivered ``(src, payload)`` pairs for ``tag``."""
+        assert self.cluster is not None, "process not registered with a cluster"
+        return self.cluster._receive(self.pid, tag)
+
+    def set_resident(self, name: str, nbytes: int) -> None:
+        """Report a resident structure's size to the memory accountant.
+
+        Safe to call before cluster registration; pre-attach reports are
+        buffered and flushed at attach time.
+        """
+        if self.cluster is None:
+            self._pending_resident[name] = int(nbytes)
+        else:
+            self.cluster.stats.stats_for(self.pid).set_resident(name, nbytes)
+
+
+class SimulatedCluster:
+    """A set of processes plus mailboxes, barriers, and accounting."""
+
+    def __init__(self):
+        self._processes: dict = {}
+        #: (dst, tag) -> list of (src, payload), already delivered
+        self._delivered: dict = defaultdict(list)
+        #: in-flight messages, delivered at the next barrier
+        self._in_flight: list = []
+        self.stats = ClusterStats()
+
+    # -- membership ----------------------------------------------------
+    def add_process(self, process: Process) -> Process:
+        """Register ``process``; its pid must be unique."""
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate process id {process.pid!r}")
+        self._processes[process.pid] = process
+        process._attach(self)
+        self.stats.stats_for(process.pid)  # materialise counters
+        return process
+
+    def process(self, pid) -> Process:
+        return self._processes[pid]
+
+    @property
+    def pids(self) -> list:
+        return sorted(self._processes, key=repr)
+
+    def processes(self) -> list:
+        """All processes in deterministic pid order."""
+        return [self._processes[pid] for pid in self.pids]
+
+    # -- messaging internals --------------------------------------------
+    def _send(self, src, dst, tag: str, payload) -> None:
+        if dst not in self._processes:
+            raise KeyError(f"unknown destination process {dst!r}")
+        # Same-machine exchange is free on the wire but still a message.
+        nbytes = 0 if _same_machine(src, dst) else payload_nbytes(payload)
+        self.stats.stats_for(src).record_send(nbytes)
+        self.stats.stats_for(dst).record_receive(nbytes)
+        self._in_flight.append((src, dst, tag, payload))
+
+    def _receive(self, pid, tag: str) -> list:
+        out = self._delivered.pop((pid, tag), [])
+        return out
+
+    # -- synchronisation -------------------------------------------------
+    def barrier(self) -> None:
+        """Deliver all in-flight messages; counts one global barrier."""
+        for src, dst, tag, payload in self._in_flight:
+            self._delivered[(dst, tag)].append((src, payload))
+        self._in_flight.clear()
+        self.stats.barriers += 1
+
+    def flush(self) -> None:
+        """Deliver in-flight messages *without* counting a barrier.
+
+        Used for the initial data distribution, which the paper excludes
+        from its elapsed-time measurements.
+        """
+        for src, dst, tag, payload in self._in_flight:
+            self._delivered[(dst, tag)].append((src, payload))
+        self._in_flight.clear()
+
+    # -- collectives ------------------------------------------------------
+    def all_gather_sum(self, values: dict) -> float:
+        """AllGather+sum collective (Algorithm 1, line 14).
+
+        ``values`` maps pid -> local value.  Accounts one scalar message
+        from every process to every other process (the all-gather wire
+        pattern) and returns the global sum.  Does *not* barrier; the
+        caller owns synchronisation.
+        """
+        pids = sorted(values, key=repr)
+        for src in pids:
+            for dst in pids:
+                if src == dst:
+                    continue
+                nbytes = 0 if _same_machine(src, dst) else 8
+                self.stats.stats_for(src).record_send(nbytes)
+                self.stats.stats_for(dst).record_receive(nbytes)
+        return sum(values.values())
+
+
+def _same_machine(a, b) -> bool:
+    """True when two pids are co-located on one simulated machine.
+
+    Pids of the form ``(role, k)`` share machine ``k``; anything else is
+    co-located only with itself.
+    """
+    if a == b:
+        return True
+    if (isinstance(a, tuple) and isinstance(b, tuple)
+            and len(a) == 2 and len(b) == 2):
+        return a[1] == b[1]
+    return False

@@ -1,0 +1,24 @@
+"""Distributed NE — the paper's core contribution.
+
+* :mod:`repro.core.hash2d` — 2D-hash initial placement with
+  id-computable replica metadata (§4).
+* :mod:`repro.core.allocation` — allocation processes: one-hop
+  allocation with local conflict resolution, replica synchronisation,
+  two-hop allocation, local Drest (Algorithms 2–3).
+* :mod:`repro.core.expansion` — expansion processes: boundary priority
+  queue, multi-expansion (Algorithms 1 and 4).
+* :mod:`repro.core.distributed_ne` — :class:`DistributedNE`, the public
+  partitioner driving a simulated cluster.
+
+Importing this package registers ``distributed_ne`` in
+:data:`repro.partitioners.PARTITIONER_REGISTRY`.
+"""
+
+from repro.core.distributed_ne import DistributedNE
+from repro.core.hash2d import Hash1DPlacement, Hash2DPlacement
+
+from repro.partitioners import PARTITIONER_REGISTRY
+
+PARTITIONER_REGISTRY.setdefault(DistributedNE.name, DistributedNE)
+
+__all__ = ["DistributedNE", "Hash2DPlacement", "Hash1DPlacement"]

@@ -1,0 +1,240 @@
+"""Allocation process (§4, Algorithms 2 and 3).
+
+Each allocation process owns a unique slice of the input edges (placed
+by 2D hash) in a local CSR, plus the partition-id sets of the vertices
+it has seen.  Per outer iteration it runs the four phases of
+``EdgeAllocation``:
+
+1. **One-hop allocation** — for every received ⟨v, p⟩, allocate v's
+   non-allocated local edges to p.  Conflicts (two partitions selecting
+   endpoints of the same local edge in one iteration) are resolved
+   locally, first-writer-wins, mirroring the CAS in the paper.
+2. **Synchronisation** — newly appended (vertex, partition) pairs are
+   sent to the vertex's replica processes (computable from the id, §4)
+   so all replicas agree on allocation ids.
+3. **Two-hop allocation** — any local non-allocated edge whose both
+   endpoints now share a partition is allocated to the sharing
+   partition with the fewest edges (Condition 5: these edges never add
+   replicas).
+4. **Local Drest** — for each new boundary pair ⟨u, p⟩, the local count
+   of u's non-allocated edges is reported to expansion process p, which
+   sums the local scores into the global ``Drest(u)``.
+
+Message tags: ``select`` (expansion→alloc), ``sync`` (alloc→alloc),
+``boundary`` and ``edges`` (alloc→expansion).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cluster.runtime import Process
+from repro.graph.csr import CSRGraph
+
+__all__ = ["AllocationProcess", "TAG_SELECT", "TAG_SYNC", "TAG_BOUNDARY",
+           "TAG_EDGES"]
+
+TAG_SELECT = "select"
+TAG_SYNC = "sync"
+TAG_BOUNDARY = "boundary"
+TAG_EDGES = "edges"
+
+
+class AllocationProcess(Process):
+    """One allocation process holding a 2D-hash slice of the graph."""
+
+    def __init__(self, machine: int, graph: CSRGraph, edge_ids: np.ndarray,
+                 placement, two_hop: bool = True):
+        super().__init__(("alloc", machine))
+        self.machine = machine
+        self.graph = graph
+        self.placement = placement
+        self.two_hop = two_hop
+
+        # Local CSR over the owned edges.  ``self.eids`` maps local edge
+        # index -> global canonical edge id.  Local arrays use 32-bit
+        # ids, mirroring the paper's space-conscious layout (local edge
+        # and vertex counts fit comfortably in 32 bits at any per-
+        # machine scale the paper runs).
+        self.eids = np.asarray(edge_ids, dtype=np.int64)
+        src = graph.edges[self.eids, 0]
+        dst = graph.edges[self.eids, 1]
+        self.local_vertices, inverse = np.unique(
+            np.concatenate([src, dst]), return_inverse=True)
+        k = len(self.eids)
+        self._lsrc = inverse[:k].astype(np.int32)
+        self._ldst = inverse[k:].astype(np.int32)
+        self._vindex = {int(v): i for i, v in enumerate(self.local_vertices)}
+
+        # Adjacency over local edges: for each local vertex, the list of
+        # (local edge idx, other endpoint's local vertex idx).
+        nv = len(self.local_vertices)
+        counts = np.bincount(self._lsrc, minlength=nv) + np.bincount(
+            self._ldst, minlength=nv)
+        self._adj_ptr = np.zeros(nv + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._adj_ptr[1:])
+        self._adj_eid = np.empty(self._adj_ptr[-1], dtype=np.int32)
+        self._adj_other = np.empty(self._adj_ptr[-1], dtype=np.int32)
+        cursor = self._adj_ptr[:-1].copy()
+        for le in range(k):
+            a, b = self._lsrc[le], self._ldst[le]
+            self._adj_eid[cursor[a]] = le
+            self._adj_other[cursor[a]] = b
+            cursor[a] += 1
+            self._adj_eid[cursor[b]] = le
+            self._adj_other[cursor[b]] = a
+            cursor[b] += 1
+
+        # Mutable allocation state.
+        self.alloc = np.full(k, -1, dtype=np.int32)     # partition per local edge
+        self.rest_degree = counts.astype(np.int32).copy()  # unallocated local degree
+        self.vertex_parts: dict[int, set] = defaultdict(set)  # local vid -> {p}
+        self.edges_per_partition = defaultdict(int)     # local view of |E_p|
+        self.unallocated = k
+
+        # Operation counters for the Theorem 3 cost model: adjacency
+        # slots touched in each allocation phase.
+        self.ops_one_hop = 0
+        self.ops_two_hop = 0
+
+        self.report_memory()
+
+    # ------------------------------------------------------------------
+    # Memory model (Figure 9): CSR arrays + allocation state + replica sets.
+    # ------------------------------------------------------------------
+    def report_memory(self) -> None:
+        csr = (self.eids.nbytes + self._lsrc.nbytes + self._ldst.nbytes
+               + self._adj_ptr.nbytes + self._adj_eid.nbytes
+               + self._adj_other.nbytes + self.local_vertices.nbytes)
+        state = self.alloc.nbytes + self.rest_degree.nbytes
+        # Replica metadata: one byte-scale entry per (vertex, partition).
+        replica = sum(len(s) for s in self.vertex_parts.values()) * 8
+        self.set_resident("graph_csr", csr)
+        self.set_resident("alloc_state", state)
+        self.set_resident("replica_sets", replica)
+
+    # ------------------------------------------------------------------
+    # Seed lookup (expansion fallback when the boundary is empty).
+    # ------------------------------------------------------------------
+    def random_unallocated_vertex(self, rng: np.random.Generator) -> int | None:
+        """A vertex with non-allocated local edges, or None."""
+        if self.unallocated == 0:
+            return None
+        candidates = np.flatnonzero(self.rest_degree > 0)
+        return int(self.local_vertices[candidates[rng.integers(len(candidates))]])
+
+    def min_degree_unallocated_vertex(self) -> int | None:
+        """Lowest-remaining-degree seed (the seeding ablation)."""
+        if self.unallocated == 0:
+            return None
+        candidates = np.flatnonzero(self.rest_degree > 0)
+        best = candidates[np.argmin(self.rest_degree[candidates])]
+        return int(self.local_vertices[best])
+
+    # ------------------------------------------------------------------
+    # Phase 1+2: one-hop allocation, then send syncs.
+    # ------------------------------------------------------------------
+    def one_hop_and_sync(self) -> None:
+        received = self.receive(TAG_SELECT)
+        # Deterministic order: by (partition, vertex) over all messages.
+        pairs = sorted({(int(p), int(v)) for _, payload in received
+                        for (v, p) in payload})
+
+        self._bp_new: list[tuple[int, int]] = []   # (global vid, p) new pairs
+        self._ep_new: dict[int, list[int]] = defaultdict(list)  # p -> global eids
+
+        sync_out: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for p, v in pairs:
+            lv = self._vindex.get(v)
+            if lv is None:
+                continue  # replica candidate process holding no v-edges
+            # The selected vertex itself joins V(E_p) on every process
+            # that received the multicast; no sync needed for it.
+            self.vertex_parts[lv].add(p)
+            self.ops_one_hop += int(self._adj_ptr[lv + 1]
+                                    - self._adj_ptr[lv])
+            for slot in range(self._adj_ptr[lv], self._adj_ptr[lv + 1]):
+                le = self._adj_eid[slot]
+                if self.alloc[le] != -1:
+                    continue
+                self._allocate_local(le, p)
+                self._ep_new[p].append(int(self.eids[le]))
+                lu = int(self._adj_other[slot])
+                if p not in self.vertex_parts[lu]:
+                    self.vertex_parts[lu].add(p)
+                    u = int(self.local_vertices[lu])
+                    self._bp_new.append((u, p))
+                    for proc in self.placement.replica_processes(u):
+                        if proc != self.machine:
+                            sync_out[proc].append((u, p))
+
+        for proc, payload in sorted(sync_out.items()):
+            self.send(("alloc", proc), TAG_SYNC, payload)
+
+    # ------------------------------------------------------------------
+    # Phase 2(recv)+3+4: merge syncs, two-hop allocation, local Drest.
+    # ------------------------------------------------------------------
+    def two_hop_and_report(self) -> None:
+        received = self.receive(TAG_SYNC)
+        merged: list[tuple[int, int]] = list(self._bp_new)
+        for _, payload in received:
+            for v, p in payload:
+                lv = self._vindex.get(int(v))
+                if lv is None:
+                    continue
+                if p not in self.vertex_parts[lv]:
+                    self.vertex_parts[lv].add(p)
+                    merged.append((int(v), int(p)))
+
+        if self.two_hop:
+            self._allocate_two_hop(merged)
+
+        # Local Drest for each new boundary pair, reported to the
+        # expansion process of that partition.
+        boundary_out: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for v, p in sorted(set(merged)):
+            lv = self._vindex[v]
+            drest = int(self.rest_degree[lv])
+            if drest > 0:
+                boundary_out[p].append((v, drest))
+        for p, payload in sorted(boundary_out.items()):
+            self.send(("expansion", p), TAG_BOUNDARY, payload)
+
+        for p, eids in sorted(self._ep_new.items()):
+            self.send(("expansion", p), TAG_EDGES,
+                      np.asarray(eids, dtype=np.int64))
+        self._bp_new = []
+        self._ep_new = defaultdict(list)
+        self.report_memory()
+
+    def _allocate_two_hop(self, merged: list[tuple[int, int]]) -> None:
+        """Condition 5: allocate local edges whose endpoints share parts."""
+        seen: set[int] = set()
+        for v, _ in merged:
+            lv = self._vindex[v]
+            if lv in seen:
+                continue
+            seen.add(lv)
+            self.ops_two_hop += int(self._adj_ptr[lv + 1]
+                                    - self._adj_ptr[lv])
+            for slot in range(self._adj_ptr[lv], self._adj_ptr[lv + 1]):
+                le = self._adj_eid[slot]
+                if self.alloc[le] != -1:
+                    continue
+                lw = int(self._adj_other[slot])
+                shared = self.vertex_parts[lv] & self.vertex_parts[lw]
+                if not shared:
+                    continue
+                pnew = min(shared,
+                           key=lambda q: (self.edges_per_partition[q], q))
+                self._allocate_local(le, pnew)
+                self._ep_new[pnew].append(int(self.eids[le]))
+
+    def _allocate_local(self, le: int, p: int) -> None:
+        self.alloc[le] = p
+        self.rest_degree[self._lsrc[le]] -= 1
+        self.rest_degree[self._ldst[le]] -= 1
+        self.edges_per_partition[p] += 1
+        self.unallocated -= 1

@@ -1,0 +1,179 @@
+"""Expansion process (§3.3 Algorithm 1, §5 Algorithm 4).
+
+One expansion process per partition.  It owns the partition's boundary
+— a priority queue of ⟨Drest(v), v⟩ — and per iteration:
+
+* pops the ``k = max(1, ceil(lambda * |B|))`` lowest-scored boundary
+  vertices (multi-expansion; ``lambda = 1/|B|``-equivalent single pop
+  when ``lambda`` is tiny, full-boundary flush when ``lambda = 1``);
+* falls back to one random seed vertex when the boundary is empty —
+  preferentially from the co-located allocation process, otherwise
+  scanning remote ones (accounted as remote queries);
+* multicasts the selected ⟨v, p⟩ pairs to the replica processes of
+  each v;
+* after the allocation phases, folds the received new boundary pairs
+  (summing per-process local Drest scores into global ones) and new
+  edges into its state;
+* checks termination: it stops expanding once ``|E_p|`` exceeds
+  ``alpha |E| / |P|`` or every edge in the graph is allocated.
+
+Boundary scores are *entry-time* scores, exactly as in the paper: a
+vertex keeps the Drest it had when it entered the boundary; popping a
+since-fully-allocated vertex simply allocates nothing that iteration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cluster.runtime import Process
+from repro.core.allocation import TAG_BOUNDARY, TAG_EDGES, TAG_SELECT
+
+__all__ = ["ExpansionProcess", "BoundaryQueue"]
+
+
+class BoundaryQueue:
+    """Priority queue of ⟨Drest, vertex⟩ with membership tracking.
+
+    ``pop_k_min`` implements ``popK-MinDrestVertices`` from
+    Algorithm 4.  A vertex is never queued twice (re-insertions of an
+    already-boundary vertex are dropped, set semantics per the paper's
+    ``B_p``).
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[int, int]] = []
+        self._members: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def insert(self, vertex: int, drest: int) -> None:
+        if vertex not in self._members:
+            self._members.add(vertex)
+            heapq.heappush(self._heap, (drest, vertex))
+
+    def pop_k_min(self, k: int) -> list[int]:
+        out: list[int] = []
+        while self._heap and len(out) < k:
+            _, v = heapq.heappop(self._heap)
+            if v in self._members:
+                self._members.discard(v)
+                out.append(v)
+        return out
+
+
+class ExpansionProcess(Process):
+    """Drives the expansion of one partition."""
+
+    def __init__(self, partition: int, num_partitions: int,
+                 limit: int, total_edges: int, lam: float,
+                 seed: int, placement, seed_strategy: str = "random"):
+        super().__init__(("expansion", partition))
+        self.partition = partition
+        self.num_partitions = num_partitions
+        self.limit = limit                      # alpha * |E| / |P|
+        self.total_edges = total_edges
+        self.lam = lam
+        self.placement = placement
+        self.seed_strategy = seed_strategy
+        self.rng = np.random.default_rng((seed, partition))
+
+        self.boundary = BoundaryQueue()
+        self.edge_count = 0                     # |E_p|
+        self.edge_ids: list[np.ndarray] = []    # received edge batches
+        self.finished = False
+        self.random_seed_requests = 0
+        self.remote_seed_requests = 0
+        self.selection_seconds = 0.0            # Fig 10(j) phase share
+
+    # ------------------------------------------------------------------
+    # Iteration phase A: select vertices and multicast to allocators.
+    # ------------------------------------------------------------------
+    def select_and_multicast(self, alloc_processes) -> int:
+        """Run the selection step.  Returns how many vertices were sent."""
+        if self.finished:
+            return 0
+        start = time.perf_counter()
+        selected: list[int] = []
+        if len(self.boundary):
+            k = max(1, int(np.ceil(self.lam * len(self.boundary))))
+            selected = self.boundary.pop_k_min(k)
+        else:
+            v = self._random_seed(alloc_processes)
+            if v is not None:
+                selected = [v]
+        self.selection_seconds += time.perf_counter() - start
+        if not selected:
+            return 0
+
+        fanout: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for v in selected:
+            for proc in self.placement.replica_processes(v):
+                fanout[proc].append((v, self.partition))
+        for proc, payload in sorted(fanout.items()):
+            self.send(("alloc", proc), TAG_SELECT, payload)
+        return len(selected)
+
+    def _random_seed(self, alloc_processes) -> int | None:
+        """Seed lookup: co-located allocator first, then remote scan.
+
+        Remote lookups are accounted as one request/response message
+        pair per scanned process (the paper takes the vertex "from the
+        other machines only if necessary").
+        """
+        self.random_seed_requests += 1
+        order = [self.partition] + [
+            p for p in range(self.num_partitions) if p != self.partition]
+        for proc_id in order:
+            alloc = alloc_processes[proc_id]
+            if proc_id != self.partition:
+                self.remote_seed_requests += 1
+                # request + response, 8 bytes each way
+                self.cluster.stats.stats_for(self.pid).record_send(8)
+                self.cluster.stats.stats_for(alloc.pid).record_receive(8)
+                self.cluster.stats.stats_for(alloc.pid).record_send(8)
+                self.cluster.stats.stats_for(self.pid).record_receive(8)
+            if self.seed_strategy == "min_degree":
+                v = alloc.min_degree_unallocated_vertex()
+            else:
+                v = alloc.random_unallocated_vertex(self.rng)
+            if v is not None:
+                return v
+        return None
+
+    # ------------------------------------------------------------------
+    # Iteration phase B: fold in allocation results.
+    # ------------------------------------------------------------------
+    def update_state(self) -> None:
+        drest_sums: dict[int, int] = defaultdict(int)
+        for _, payload in self.receive(TAG_BOUNDARY):
+            for v, local_drest in payload:
+                drest_sums[int(v)] += int(local_drest)
+        for v in sorted(drest_sums):
+            self.boundary.insert(v, drest_sums[v])
+
+        for _, payload in self.receive(TAG_EDGES):
+            if len(payload):
+                self.edge_ids.append(np.asarray(payload, dtype=np.int64))
+                self.edge_count += len(payload)
+
+        # Memory model: boundary entries + received partition edges
+        # (one 64-bit edge id per collected edge).
+        self.set_resident("boundary", len(self.boundary) * 16)
+        self.set_resident("partition_edges", self.edge_count * 8)
+
+    def check_termination(self, global_allocated: int) -> None:
+        """Algorithm 1 line 15."""
+        if self.edge_count > self.limit or global_allocated >= self.total_edges:
+            self.finished = True
+
+    # ------------------------------------------------------------------
+    def collected_edge_ids(self) -> np.ndarray:
+        if not self.edge_ids:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self.edge_ids)

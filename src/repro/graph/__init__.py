@@ -1,0 +1,63 @@
+"""Graph substrate: storage, generators, and dataset registry.
+
+This package provides everything the partitioners need to know about
+graphs:
+
+* :mod:`repro.graph.edgelist` — raw edge-list manipulation (canonical
+  undirected form, dedup, relabeling, IO).
+* :mod:`repro.graph.csr` — an immutable compressed-sparse-row adjacency
+  structure (the same layout the paper uses inside allocation processes).
+* :mod:`repro.graph.generators` — synthetic graph generators: RMAT
+  (Graph500-style), Erdős–Rényi, Chung–Lu power-law, ring, complete,
+  the ring+complete construction from Theorem 2, and grid-like road
+  networks.
+* :mod:`repro.graph.datasets` — named, scaled-down stand-ins for the
+  real-world graphs evaluated in the paper.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import (
+    canonical_edges,
+    edges_from_pairs,
+    load_edges_tsv,
+    relabel_compact,
+    save_edges_tsv,
+)
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    grid_road_network,
+    powerlaw_chung_lu,
+    ring_graph,
+    ring_plus_complete,
+    rmat_edges,
+)
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.stats import (
+    degree_statistics,
+    fit_powerlaw_alpha,
+    is_skewed,
+    num_connected_components,
+)
+
+__all__ = [
+    "CSRGraph",
+    "canonical_edges",
+    "edges_from_pairs",
+    "load_edges_tsv",
+    "save_edges_tsv",
+    "relabel_compact",
+    "rmat_edges",
+    "erdos_renyi",
+    "powerlaw_chung_lu",
+    "ring_graph",
+    "complete_graph",
+    "ring_plus_complete",
+    "grid_road_network",
+    "DATASETS",
+    "load_dataset",
+    "degree_statistics",
+    "fit_powerlaw_alpha",
+    "is_skewed",
+    "num_connected_components",
+]

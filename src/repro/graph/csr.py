@@ -1,0 +1,153 @@
+"""Immutable CSR adjacency structure.
+
+The paper stores the graph inside each allocation process as a
+compressed sparse row array (§4, "Data Structure"): a contiguous
+``indptr`` / ``indices`` pair rather than hash maps, which is the source
+of its order-of-magnitude memory advantage over ParMETIS/Sheep.  This
+module provides the same structure for the whole library: generators
+produce edge lists, everything that needs traversal builds a
+:class:`CSRGraph`.
+
+For an undirected graph each edge ``{u, v}`` appears twice in the
+adjacency (once per endpoint); ``edge_ids`` maps each adjacency slot
+back to the canonical edge index so per-edge state (e.g. "already
+allocated") can live in one flat array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import canonical_edges
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Undirected graph in CSR form.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` canonical edge array (see
+        :func:`repro.graph.edgelist.canonical_edges`).  The constructor
+        canonicalises defensively, so any pair list works.
+    num_vertices:
+        Optional vertex-count override.  Must be at least ``max id + 1``;
+        ids in ``[0, num_vertices)`` with no incident edge are isolated
+        vertices (degree 0).
+
+    Attributes
+    ----------
+    indptr, indices:
+        Standard CSR arrays over the *symmetrised* adjacency.
+    edge_ids:
+        Parallel to ``indices``; ``edge_ids[k]`` is the canonical edge
+        index of the adjacency slot ``k``.
+    edges:
+        The canonical ``(m, 2)`` edge array; edge ``i`` is
+        ``edges[i] = (u, v)`` with ``u < v``.
+    """
+
+    __slots__ = ("edges", "indptr", "indices", "edge_ids", "n", "m")
+
+    def __init__(self, edges: np.ndarray, num_vertices: int | None = None):
+        edges = canonical_edges(edges)
+        self.edges = edges
+        self.m = len(edges)
+        inferred = int(edges.max()) + 1 if self.m else 0
+        if num_vertices is None:
+            num_vertices = inferred
+        elif num_vertices < inferred:
+            raise ValueError(
+                f"num_vertices={num_vertices} smaller than max id + 1 = {inferred}")
+        self.n = int(num_vertices)
+
+        # Symmetrise: each canonical edge contributes (u->v) and (v->u).
+        src = np.concatenate([edges[:, 0], edges[:, 1]]) if self.m else np.empty(0, np.int64)
+        dst = np.concatenate([edges[:, 1], edges[:, 0]]) if self.m else np.empty(0, np.int64)
+        eid = np.concatenate([np.arange(self.m), np.arange(self.m)]) if self.m else np.empty(0, np.int64)
+
+        order = np.argsort(src, kind="stable")
+        src, dst, eid = src[order], dst[order], eid[order]
+
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        if self.m:
+            counts = np.bincount(src, minlength=self.n)
+            np.cumsum(counts, out=self.indptr[1:])
+        self.indices = dst.astype(np.int64)
+        self.edge_ids = eid.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (including isolated ones)."""
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of canonical undirected edges."""
+        return self.m
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v`` (each undirected edge counts once)."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        """Maximum degree, 0 for an empty graph."""
+        if self.n == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour ids of ``v`` (view into ``indices``)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def incident_edge_ids(self, v: int) -> np.ndarray:
+        """Canonical edge ids incident to ``v`` (view into ``edge_ids``)."""
+        return self.edge_ids[self.indptr[v]:self.indptr[v + 1]]
+
+    def edge_endpoints(self, edge_id: int) -> tuple[int, int]:
+        """Endpoints ``(u, v)`` with ``u < v`` of a canonical edge id."""
+        u, v = self.edges[edge_id]
+        return int(u), int(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge ``{u, v}`` exists."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            return False
+        # Scan the smaller adjacency list.
+        if self.degree(u) > self.degree(v):
+            u, v = v, u
+        return bool(np.any(self.neighbors(u) == v))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def average_degree(self) -> float:
+        """Mean degree ``2m / n`` (0 for the empty graph)."""
+        if self.n == 0:
+            return 0.0
+        return 2.0 * self.m / self.n
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the CSR arrays.
+
+        This is the quantity Figure 9's "mem score" normalises: the
+        resident size of the graph structure itself.
+        """
+        return (self.edges.nbytes + self.indptr.nbytes
+                + self.indices.nbytes + self.edge_ids.nbytes)
+
+    def subgraph_edges(self, edge_mask: np.ndarray) -> np.ndarray:
+        """Canonical edges selected by a boolean mask over edge ids."""
+        return self.edges[edge_mask]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.m})"

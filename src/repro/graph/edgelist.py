@@ -1,0 +1,131 @@
+"""Edge-list utilities.
+
+Every graph in this library is, at its root, an ``(m, 2)`` int64 numpy
+array of undirected edges.  The canonical form used throughout is:
+
+* each edge stored once, with ``src <= dst`` (lexicographically sorted
+  rows),
+* no duplicate rows,
+* self-loops removed (the partitioning problem in the paper is defined
+  on simple undirected graphs).
+
+The helpers here convert arbitrary pair lists into that form, relabel
+vertex ids into a compact ``0..n-1`` range, and read/write simple TSV
+edge files, which is the interchange format the examples use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "edges_from_pairs",
+    "canonical_edges",
+    "relabel_compact",
+    "num_vertices",
+    "vertex_ids",
+    "save_edges_tsv",
+    "load_edges_tsv",
+    "random_permute_edges",
+]
+
+
+def edges_from_pairs(pairs) -> np.ndarray:
+    """Convert an iterable of ``(u, v)`` pairs into an ``(m, 2)`` array.
+
+    Accepts lists of tuples, lists of lists, or an existing array.
+    The result is *not* canonicalised; call :func:`canonical_edges`
+    for that.
+    """
+    arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs,
+                     dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edge array must have shape (m, 2), got {arr.shape}")
+    return arr
+
+
+def canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Return the canonical undirected form of ``edges``.
+
+    Rows are oriented ``src <= dst``, self-loops dropped, duplicates
+    merged, and the result sorted lexicographically.  This is the form
+    every partitioner in the library expects.
+    """
+    edges = edges_from_pairs(edges)
+    if len(edges) == 0:
+        return edges
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if len(lo) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    stacked = np.stack([lo, hi], axis=1)
+    return np.unique(stacked, axis=0)
+
+
+def num_vertices(edges: np.ndarray) -> int:
+    """Number of vertices implied by the edge list (``max id + 1``)."""
+    if len(edges) == 0:
+        return 0
+    return int(edges.max()) + 1
+
+
+def vertex_ids(edges: np.ndarray) -> np.ndarray:
+    """Sorted array of distinct vertex ids that appear in ``edges``."""
+    if len(edges) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(edges)
+
+
+def relabel_compact(edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Relabel vertex ids to a dense ``0..n-1`` range.
+
+    Returns ``(new_edges, old_ids)`` where ``old_ids[new_id]`` recovers
+    the original id.  Useful after generators that leave id gaps (RMAT
+    leaves many isolated ids at low edge factors).
+    """
+    edges = edges_from_pairs(edges)
+    if len(edges) == 0:
+        return edges, np.empty(0, dtype=np.int64)
+    old_ids, inverse = np.unique(edges, return_inverse=True)
+    new_edges = inverse.reshape(edges.shape).astype(np.int64)
+    return new_edges, old_ids
+
+
+def random_permute_edges(edges: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Return ``edges`` with rows in a random order.
+
+    Streaming partitioners (HDRF, SNE) are order-sensitive; benchmarks
+    shuffle the stream with a fixed seed so runs are reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(edges))
+    return edges[order]
+
+
+def save_edges_tsv(path, edges: np.ndarray) -> None:
+    """Write one ``src\\tdst`` line per edge."""
+    edges = edges_from_pairs(edges)
+    with open(path, "w", encoding="utf-8") as fh:
+        for u, v in edges:
+            fh.write(f"{int(u)}\t{int(v)}\n")
+
+
+def load_edges_tsv(path) -> np.ndarray:
+    """Read an edge list written by :func:`save_edges_tsv`.
+
+    Lines starting with ``#`` are skipped, so SNAP-format files load
+    directly.
+    """
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            rows.append((int(parts[0]), int(parts[1])))
+    return edges_from_pairs(rows)

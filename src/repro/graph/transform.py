@@ -1,0 +1,99 @@
+"""Graph transformations.
+
+Utilities a user needs to get a real edge list into the shape the
+partitioners expect: extract the largest connected component (the
+standard preprocessing for the paper's datasets — SNAP distributes
+LCC-trimmed versions of several of them), sample edges, cap hub
+degrees, and relabel by degree (a locality optimisation several graph
+systems apply before partitioning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import connected_components
+
+__all__ = [
+    "largest_connected_component",
+    "sample_edges",
+    "cap_degrees",
+    "relabel_by_degree",
+]
+
+
+def largest_connected_component(graph: CSRGraph) -> CSRGraph:
+    """The induced subgraph on the largest component, ids compacted.
+
+    Vertices are renumbered ``0..n'-1`` preserving relative order.
+    Returns an empty graph for an empty input.
+    """
+    if graph.num_edges == 0:
+        return CSRGraph(np.empty((0, 2), dtype=np.int64))
+    labels = connected_components(graph)
+    covered = graph.degrees() > 0
+    values, counts = np.unique(labels[covered], return_counts=True)
+    winner = values[np.argmax(counts)]
+    keep_vertex = labels == winner
+
+    mask = keep_vertex[graph.edges[:, 0]] & keep_vertex[graph.edges[:, 1]]
+    edges = graph.edges[mask]
+    # Compact ids.
+    old_ids = np.flatnonzero(keep_vertex)
+    remap = np.full(graph.num_vertices, -1, dtype=np.int64)
+    remap[old_ids] = np.arange(len(old_ids))
+    return CSRGraph(remap[edges])
+
+
+def sample_edges(graph: CSRGraph, fraction: float,
+                 seed: int = 0) -> CSRGraph:
+    """Uniform edge sample of the given fraction (ids preserved).
+
+    Useful to scale a workload down while keeping the id space, e.g.
+    to pilot a partitioning configuration before the full run.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(graph.num_edges) < fraction
+    return CSRGraph(graph.edges[keep], num_vertices=graph.num_vertices)
+
+
+def cap_degrees(graph: CSRGraph, max_degree: int, seed: int = 0) -> CSRGraph:
+    """Drop random incident edges of vertices above ``max_degree``.
+
+    Produces a degree-capped variant of a skewed graph — handy for
+    ablating how much of a partitioner's difficulty comes from hubs.
+    The cap is approximate: edges are dropped while *either* endpoint
+    exceeds the cap, processed in random order.
+    """
+    if max_degree < 1:
+        raise ValueError("max_degree must be >= 1")
+    rng = np.random.default_rng(seed)
+    degrees = graph.degrees().astype(np.int64).copy()
+    keep = np.ones(graph.num_edges, dtype=bool)
+    for eid in rng.permutation(graph.num_edges):
+        u, v = graph.edges[eid]
+        if degrees[u] > max_degree or degrees[v] > max_degree:
+            keep[eid] = False
+            degrees[u] -= 1
+            degrees[v] -= 1
+    return CSRGraph(graph.edges[keep], num_vertices=graph.num_vertices)
+
+
+def relabel_by_degree(graph: CSRGraph,
+                      descending: bool = True) -> tuple[CSRGraph, np.ndarray]:
+    """Renumber vertices by degree; returns ``(graph', old_of_new)``.
+
+    ``descending=True`` gives hubs the smallest ids (the layout several
+    frameworks use so hub state is contiguous).  ``old_of_new[i]`` maps
+    a new id back to the original.
+    """
+    degrees = graph.degrees()
+    order = np.argsort(-degrees if descending else degrees,
+                       kind="stable").astype(np.int64)
+    new_of_old = np.empty_like(order)
+    new_of_old[order] = np.arange(graph.num_vertices)
+    edges = new_of_old[graph.edges]
+    return CSRGraph(edges, num_vertices=graph.num_vertices), order

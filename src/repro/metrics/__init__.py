@@ -1,0 +1,44 @@
+"""Partition quality metrics and the paper's theoretical bounds.
+
+* :mod:`repro.metrics.quality` — replication factor (Equation 1),
+  vertex cut, edge/vertex/workload balance (§7.6 definitions).
+* :mod:`repro.metrics.bounds` — Theorem 1's upper bound, the power-law
+  expected bounds behind Table 1 (Distributed NE vs the Random / Grid /
+  DBH bounds of Xie et al.), and the Theorem 3 cost model.
+"""
+
+from repro.metrics.quality import (
+    balance,
+    edge_balance,
+    partition_vertex_counts,
+    replication_factor,
+    vertex_balance,
+    vertex_cut_count,
+)
+from repro.metrics.report import PartitionReport, format_report, partition_report
+from repro.metrics.bounds import (
+    dne_expected_bound_powerlaw,
+    dbh_expected_bound_powerlaw,
+    grid_expected_bound_powerlaw,
+    random_expected_bound_powerlaw,
+    theorem1_upper_bound,
+    theorem3_local_time_bound,
+)
+
+__all__ = [
+    "replication_factor",
+    "vertex_cut_count",
+    "partition_vertex_counts",
+    "balance",
+    "edge_balance",
+    "vertex_balance",
+    "theorem1_upper_bound",
+    "theorem3_local_time_bound",
+    "dne_expected_bound_powerlaw",
+    "random_expected_bound_powerlaw",
+    "grid_expected_bound_powerlaw",
+    "dbh_expected_bound_powerlaw",
+    "PartitionReport",
+    "partition_report",
+    "format_report",
+]

@@ -1,0 +1,114 @@
+"""Per-partition quality reports.
+
+:func:`partition_report` turns an :class:`EdgePartition` into the full
+per-partition breakdown a downstream engine operator would want before
+deploying: per-partition edge and vertex counts, replica-only
+("mirror") vertex counts, plus the aggregate metrics the paper reports
+(RF, EB, VB, vertex cuts).  :func:`format_report` renders it as the
+table the CLI's ``inspect`` command prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.metrics.quality import (
+    partition_edge_counts,
+    partition_vertex_counts,
+    replication_factor,
+    vertex_cut_count,
+)
+
+if TYPE_CHECKING:  # avoid a metrics <-> partitioners import cycle
+    from repro.partitioners.base import EdgePartition
+
+__all__ = ["PartitionReport", "partition_report", "format_report"]
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Aggregate + per-partition quality numbers."""
+
+    method: str
+    num_partitions: int
+    num_vertices: int
+    num_edges: int
+    replication_factor: float
+    vertex_cuts: int
+    edge_balance: float
+    vertex_balance: float
+    #: |E_p| per partition
+    edge_counts: np.ndarray = field(repr=False)
+    #: |V(E_p)| per partition
+    vertex_counts: np.ndarray = field(repr=False)
+    #: per partition: vertices that are replicas of a vertex whose
+    #: master copy (lowest-id covering partition) lives elsewhere
+    mirror_counts: np.ndarray = field(repr=False)
+
+
+def partition_report(partition: "EdgePartition") -> PartitionReport:
+    """Compute a :class:`PartitionReport` for ``partition``."""
+    graph = partition.graph
+    p = partition.num_partitions
+    assignment = partition.assignment
+
+    edge_counts = partition_edge_counts(assignment, p)
+    vertex_counts = partition_vertex_counts(graph, assignment, p)
+
+    # Mirror counts: vertex v covers partitions S(v); its "master" is
+    # min(S(v)) (the PowerGraph convention is hash-based, any fixed
+    # choice gives the same count), every other covering partition
+    # holds a mirror.
+    mirror_counts = np.zeros(p, dtype=np.int64)
+    if graph.num_edges:
+        verts = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
+        parts = np.concatenate([assignment, assignment])
+        keys = np.unique(verts * p + parts)
+        owners = keys % p
+        vertices = keys // p
+        # First covering partition of each vertex (keys are sorted, so
+        # the first occurrence per vertex is its minimum partition).
+        first = np.ones(len(keys), dtype=bool)
+        first[1:] = vertices[1:] != vertices[:-1]
+        mirror_counts = np.bincount(owners[~first], minlength=p)
+
+    mean_edges = edge_counts.mean() if p else 0.0
+    mean_vertices = vertex_counts.mean() if p else 0.0
+    return PartitionReport(
+        method=partition.method,
+        num_partitions=p,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        replication_factor=replication_factor(graph, assignment, p),
+        vertex_cuts=vertex_cut_count(graph, assignment, p),
+        edge_balance=(float(edge_counts.max() / mean_edges)
+                      if mean_edges else float("nan")),
+        vertex_balance=(float(vertex_counts.max() / mean_vertices)
+                        if mean_vertices else float("nan")),
+        edge_counts=edge_counts,
+        vertex_counts=vertex_counts,
+        mirror_counts=mirror_counts.astype(np.int64),
+    )
+
+
+def format_report(report: PartitionReport, max_rows: int = 32) -> str:
+    """Render a report as aligned text (used by ``repro inspect``)."""
+    lines = [
+        f"method={report.method}  P={report.num_partitions}  "
+        f"|V|={report.num_vertices}  |E|={report.num_edges}",
+        f"replication factor={report.replication_factor:.3f}  "
+        f"vertex cuts={report.vertex_cuts}  "
+        f"EB={report.edge_balance:.3f}  VB={report.vertex_balance:.3f}",
+        f"{'part':>5}  {'edges':>9}  {'vertices':>9}  {'mirrors':>9}",
+    ]
+    shown = min(report.num_partitions, max_rows)
+    for p in range(shown):
+        lines.append(f"{p:>5}  {report.edge_counts[p]:>9}  "
+                     f"{report.vertex_counts[p]:>9}  "
+                     f"{report.mirror_counts[p]:>9}")
+    if shown < report.num_partitions:
+        lines.append(f"... ({report.num_partitions - shown} more)")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Baseline partitioners evaluated against Distributed NE.
+
+The paper's comparison set (§7.1):
+
+====================  ==========================================  =========
+Name                  Class                                        Kind
+====================  ==========================================  =========
+Random (1D hash)      :class:`~repro.partitioners.hashing.RandomPartitioner`        edge
+2D-Random / Grid      :class:`~repro.partitioners.hashing.GridPartitioner`          edge
+DBH                   :class:`~repro.partitioners.hashing.DBHPartitioner`           edge
+Hybrid                :class:`~repro.partitioners.hashing.HybridHashPartitioner`    edge
+Oblivious             :class:`~repro.partitioners.oblivious.ObliviousPartitioner`   edge
+Hybrid Ginger         :class:`~repro.partitioners.ginger.HybridGingerPartitioner`   edge
+HDRF                  :class:`~repro.partitioners.hdrf.HDRFPartitioner`             edge (streaming)
+NE                    :class:`~repro.partitioners.ne.NEPartitioner`                 edge (offline)
+SNE                   :class:`~repro.partitioners.sne.SNEPartitioner`               edge (streaming)
+Sheep                 :class:`~repro.partitioners.sheep.SheepPartitioner`           edge (tree)
+Spinner               :class:`~repro.partitioners.spinner.SpinnerPartitioner`       vertex
+ParMETIS-like         :class:`~repro.partitioners.metis_like.MetisLikePartitioner`  vertex
+XtraPuLP-like         :class:`~repro.partitioners.xtrapulp.XtraPuLPPartitioner`     vertex
+====================  ==========================================  =========
+
+Vertex partitioners expose ``partition_vertices`` and their
+``partition`` applies the §7.1 vertex→edge conversion.
+``PARTITIONER_REGISTRY`` maps the names the bench harness uses to the
+classes; Distributed NE registers itself on import of
+:mod:`repro.core`.
+"""
+
+from repro.partitioners.base import EdgePartition, Partitioner, VertexPartition
+from repro.partitioners.hashing import (
+    DBHPartitioner,
+    GridPartitioner,
+    HybridHashPartitioner,
+    RandomPartitioner,
+)
+from repro.partitioners.fennel import FennelEdgePartitioner
+from repro.partitioners.oblivious import ObliviousPartitioner
+from repro.partitioners.hdrf import HDRFPartitioner
+from repro.partitioners.ginger import HybridGingerPartitioner
+from repro.partitioners.ne import NEPartitioner
+from repro.partitioners.sne import SNEPartitioner
+from repro.partitioners.sheep import SheepPartitioner
+from repro.partitioners.spinner import SpinnerPartitioner
+from repro.partitioners.metis_like import MetisLikePartitioner
+from repro.partitioners.xtrapulp import XtraPuLPPartitioner
+from repro.partitioners.vertex_to_edge import vertex_to_edge_partition
+
+PARTITIONER_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        RandomPartitioner,
+        GridPartitioner,
+        DBHPartitioner,
+        HybridHashPartitioner,
+        ObliviousPartitioner,
+        FennelEdgePartitioner,
+        HDRFPartitioner,
+        HybridGingerPartitioner,
+        NEPartitioner,
+        SNEPartitioner,
+        SheepPartitioner,
+        SpinnerPartitioner,
+        MetisLikePartitioner,
+        XtraPuLPPartitioner,
+    )
+}
+
+__all__ = [
+    "EdgePartition",
+    "VertexPartition",
+    "Partitioner",
+    "RandomPartitioner",
+    "GridPartitioner",
+    "DBHPartitioner",
+    "HybridHashPartitioner",
+    "ObliviousPartitioner",
+    "FennelEdgePartitioner",
+    "HDRFPartitioner",
+    "HybridGingerPartitioner",
+    "NEPartitioner",
+    "SNEPartitioner",
+    "SheepPartitioner",
+    "SpinnerPartitioner",
+    "MetisLikePartitioner",
+    "XtraPuLPPartitioner",
+    "vertex_to_edge_partition",
+    "PARTITIONER_REGISTRY",
+]

@@ -1,0 +1,110 @@
+"""Hybrid Ginger — PowerLyra's Fennel-style refinement of Hybrid hash [13].
+
+Chen et al. (EuroSys'15).  The method:
+
+1. run Hybrid hashing (low-degree vertices grouped on their own hash
+   partition, high-degree vertices scattered — see
+   :class:`repro.partitioners.hashing.HybridHashPartitioner`);
+2. iteratively *re-home* each low-degree vertex's edge group with a
+   Fennel-derived score that trades locality against balance::
+
+       score(v, p) = |N(v) ∩ V(E_p)|  -  gamma/2 * (|V_p| + nu * |E_p|)
+
+   where ``|V_p|``/``|E_p|`` are the partition's current vertex/edge
+   loads and ``nu`` normalises edges to vertices (``nu = |V|/|E|``).
+   Moving the group moves all edges hashed by ``v``.
+
+Per the paper, a few refinement rounds suffice; quality lands between
+plain hashing and the greedy/streaming family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partitioners.base import EdgePartition, Partitioner
+from repro.partitioners.hashing import HybridHashPartitioner
+
+__all__ = ["HybridGingerPartitioner"]
+
+
+class HybridGingerPartitioner(Partitioner):
+    """Hybrid hash + Ginger (Fennel-heuristic) refinement rounds."""
+
+    name = "hybrid_ginger"
+
+    def __init__(self, num_partitions: int, seed: int = 0,
+                 threshold: int = 100, rounds: int = 3,
+                 gamma: float = 1.5):
+        super().__init__(num_partitions, seed)
+        self.threshold = threshold
+        self.rounds = rounds
+        self.gamma = gamma
+
+    def _partition(self, graph: CSRGraph) -> EdgePartition:
+        p = self.num_partitions
+        base = HybridHashPartitioner(
+            p, seed=self.seed, threshold=self.threshold).partition(graph)
+        assignment = base.assignment.copy()
+
+        deg = graph.degrees()
+        u_col, v_col = graph.edges[:, 0], graph.edges[:, 1]
+        group_by_u = deg[u_col] <= deg[v_col]
+        group_vertex = np.where(group_by_u, u_col, v_col)
+        low = deg[group_vertex] < self.threshold
+
+        # Edge ids grouped by their low-degree grouping vertex.
+        groups: dict[int, list[int]] = {}
+        for eid in np.flatnonzero(low):
+            groups.setdefault(int(group_vertex[eid]), []).append(int(eid))
+
+        edge_loads = np.bincount(assignment, minlength=p).astype(np.float64)
+        vertex_loads = _covered_vertex_counts(graph, assignment, p).astype(np.float64)
+        nu = graph.num_vertices / max(graph.num_edges, 1)
+        rng = np.random.default_rng(self.seed)
+
+        moved_total = 0
+        vertices = np.array(sorted(groups), dtype=np.int64)
+        for _ in range(self.rounds):
+            rng.shuffle(vertices)
+            moved = 0
+            for v in vertices:
+                eids = groups[int(v)]
+                current = assignment[eids[0]]
+                # Locality: neighbours' partition histogram.
+                nbr_parts = np.zeros(p, dtype=np.float64)
+                for eid in graph.incident_edge_ids(v):
+                    nbr_parts[assignment[eid]] += 1.0
+                penalty = (self.gamma / 2.0) * (vertex_loads + nu * edge_loads)
+                score = nbr_parts - penalty
+                target = int(np.argmax(score))
+                if target != current:
+                    for eid in eids:
+                        assignment[eid] = target
+                    edge_loads[current] -= len(eids)
+                    edge_loads[target] += len(eids)
+                    # Vertex-load bookkeeping kept approximate (exact
+                    # recount once per round below) for speed.
+                    vertex_loads[current] -= 1
+                    vertex_loads[target] += 1
+                    moved += 1
+            vertex_loads = _covered_vertex_counts(
+                graph, assignment, p).astype(np.float64)
+            moved_total += moved
+            if not moved:
+                break
+
+        return EdgePartition(graph, p, assignment, method=self.name,
+                             iterations=self.rounds,
+                             extra={"moved_groups": moved_total})
+
+
+def _covered_vertex_counts(graph: CSRGraph, assignment: np.ndarray,
+                           p: int) -> np.ndarray:
+    """|V(E_p)| per partition (same computation as metrics.quality)."""
+    verts = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
+    parts = np.concatenate([assignment, assignment])
+    keys = verts * p + parts
+    owning = np.unique(keys) % p
+    return np.bincount(owning, minlength=p)

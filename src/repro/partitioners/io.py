@@ -1,0 +1,82 @@
+"""Serialisation of partitioning results.
+
+A partitioner run is the expensive step of the paper's workflow
+(pre-processing for a distributed graph engine), so its result must be
+persistable.  :func:`save_partition` / :func:`load_partition` store an
+:class:`~repro.partitioners.base.EdgePartition` as a single ``.npz``
+file: the canonical edge array, the per-edge assignment, and the run
+metadata (method, elapsed, iterations, JSON-encodable extras).
+
+Loading rebuilds the CSR graph from the stored edges, so the file is
+self-contained — a downstream engine needs nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partitioners.base import EdgePartition
+
+__all__ = ["save_partition", "load_partition"]
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value):
+    """Best-effort conversion of `extra` entries to JSON-encodable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def save_partition(path, partition: EdgePartition) -> None:
+    """Write ``partition`` to ``path`` as a compressed npz archive."""
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "method": partition.method,
+        "num_partitions": partition.num_partitions,
+        "num_vertices": partition.graph.num_vertices,
+        "elapsed_seconds": partition.elapsed_seconds,
+        "iterations": partition.iterations,
+        "extra": _jsonable(partition.extra),
+    }
+    np.savez_compressed(
+        path,
+        edges=partition.graph.edges,
+        assignment=partition.assignment,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_partition(path) -> EdgePartition:
+    """Read a partition written by :func:`save_partition`."""
+    with np.load(path) as data:
+        edges = data["edges"]
+        assignment = data["assignment"]
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported partition file version {version!r}")
+    graph = CSRGraph(edges, num_vertices=meta["num_vertices"])
+    return EdgePartition(
+        graph,
+        meta["num_partitions"],
+        assignment,
+        method=meta["method"],
+        elapsed_seconds=meta["elapsed_seconds"],
+        iterations=meta["iterations"],
+        extra=meta["extra"],
+    )

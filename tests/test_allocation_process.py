@@ -1,0 +1,161 @@
+"""Unit tests for the allocation process (Algorithms 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.runtime import SimulatedCluster
+from repro.core.allocation import (
+    TAG_BOUNDARY,
+    TAG_EDGES,
+    TAG_SELECT,
+    AllocationProcess,
+)
+from repro.core.hash2d import Hash2DPlacement
+from repro.graph.csr import CSRGraph
+
+
+class _Sink:
+    """Minimal expansion-side stand-in to receive allocator output."""
+
+    def __init__(self, cluster, partition):
+        from repro.cluster.runtime import Process
+        self.proc = cluster.add_process(Process(("expansion", partition)))
+
+    def boundary(self):
+        out = {}
+        for _, payload in self.proc.receive(TAG_BOUNDARY):
+            for v, d in payload:
+                out[v] = out.get(v, 0) + d
+        return out
+
+    def edges(self):
+        out = []
+        for _, payload in self.proc.receive(TAG_EDGES):
+            out.extend(np.asarray(payload).tolist())
+        return out
+
+
+def _single_proc_setup(graph, num_partitions=2, two_hop=True):
+    """One allocation process owning the whole graph."""
+    cluster = SimulatedCluster()
+    placement = Hash2DPlacement(1, seed=0)
+    alloc = cluster.add_process(AllocationProcess(
+        0, graph, np.arange(graph.num_edges), placement, two_hop=two_hop))
+    sinks = [_Sink(cluster, p) for p in range(num_partitions)]
+    return cluster, alloc, sinks
+
+
+def _drive(cluster, alloc, selections):
+    """Send selections, run both allocator phases with barriers."""
+    from repro.cluster.runtime import Process
+    driver = cluster.process(("expansion", 0))
+    driver.send(alloc.pid, TAG_SELECT, selections)
+    cluster.barrier()
+    alloc.one_hop_and_sync()
+    cluster.barrier()
+    alloc.two_hop_and_report()
+    cluster.barrier()
+
+
+class TestOneHopAllocation:
+    def test_allocates_selected_vertex_edges(self, star):
+        cluster, alloc, sinks = _single_proc_setup(star)
+        _drive(cluster, alloc, [(0, 0)])  # select hub for partition 0
+        assert alloc.unallocated == 0
+        assert sorted(sinks[0].edges()) == list(range(8))
+
+    def test_new_boundary_with_drest(self, path4):
+        cluster, alloc, sinks = _single_proc_setup(path4)
+        _drive(cluster, alloc, [(1, 0)])  # select middle vertex 1
+        boundary = sinks[0].boundary()
+        # neighbours 0 (Drest 0, omitted) and 2 (Drest 1).
+        assert boundary == {2: 1}
+
+    def test_conflict_resolved_locally(self, path4):
+        """Two partitions select the two endpoints of edge (1,2): only
+        one gets it; both allocations remain edge-disjoint."""
+        cluster, alloc, sinks = _single_proc_setup(path4)
+        _drive(cluster, alloc, [(1, 0), (2, 1)])
+        e0 = sinks[0].edges()
+        e1 = sinks[1].edges()
+        assert set(e0).isdisjoint(e1)
+        assert len(e0) + len(e1) == 3  # all of the path's edges
+
+    def test_vertex_replicas_accumulate_partitions(self, star):
+        cluster, alloc, sinks = _single_proc_setup(star)
+        _drive(cluster, alloc, [(1, 0), (2, 1)])
+        hub = alloc._vindex[0]
+        assert alloc.vertex_parts[hub] == {0, 1}
+
+
+class TestTwoHopAllocation:
+    def test_triangle_closure(self, triangle):
+        """Selecting vertex 0 allocates (0,1),(0,2) one-hop and (1,2)
+        two-hop."""
+        cluster, alloc, sinks = _single_proc_setup(triangle)
+        _drive(cluster, alloc, [(0, 0)])
+        assert sorted(sinks[0].edges()) == [0, 1, 2]
+        assert alloc.unallocated == 0
+
+    def test_two_hop_disabled(self, triangle):
+        cluster, alloc, sinks = _single_proc_setup(triangle, two_hop=False)
+        _drive(cluster, alloc, [(0, 0)])
+        assert len(sinks[0].edges()) == 2
+        assert alloc.unallocated == 1
+
+    def test_two_hop_goes_to_least_loaded(self):
+        """When both endpoints share two partitions, the edge goes to
+        the one with fewer local edges."""
+        # Square 0-1-2-3 plus diagonal (1,3).
+        g = CSRGraph(np.array([[0, 1], [1, 2], [2, 3], [0, 3], [1, 3]]))
+        cluster, alloc, sinks = _single_proc_setup(g, num_partitions=2)
+        # Select 0 for p0 (takes (0,1),(0,3)); then 2 for p1 (takes
+        # (1,2),(2,3)); now 1 and 3 both belong to {p0, p1}; the
+        # diagonal (1,3) goes to the lighter partition (tie -> p0).
+        _drive(cluster, alloc, [(0, 0), (2, 1)])
+        diag_eid = 2  # canonical order: (0,1),(0,3),(1,2),(1,3),(2,3)
+        edges = sorted(g.edges.tolist())
+        assert edges[3] == [1, 3]
+        owner = alloc.alloc[3]
+        assert owner in (0, 1)
+        assert alloc.unallocated == 0
+
+
+class TestMultiProcessSync:
+    def test_sync_propagates_vertex_partitions(self):
+        """A vertex allocated on one process becomes visible on its
+        replica processes after the sync phase."""
+        g = CSRGraph(np.array([[0, 1], [1, 2], [2, 3]]))
+        cluster = SimulatedCluster()
+        placement = Hash2DPlacement(2, seed=0)
+        homes = placement.place_edges(g.edges)
+        allocs = [cluster.add_process(AllocationProcess(
+            k, g, np.flatnonzero(homes == k), placement)) for k in range(2)]
+        sinks = [_Sink(cluster, p) for p in range(2)]
+
+        driver = cluster.process(("expansion", 0))
+        for proc in placement.replica_processes(1):
+            driver.send(("alloc", proc), TAG_SELECT, [(1, 0)])
+        cluster.barrier()
+        for a in allocs:
+            a.one_hop_and_sync()
+        cluster.barrier()
+        for a in allocs:
+            a.two_hop_and_report()
+        cluster.barrier()
+
+        # Vertex 1's one-hop neighbours are 0 and 2; whichever processes
+        # hold them must agree that they belong to partition 0.
+        for a in allocs:
+            for gv in (0, 2):
+                lv = a._vindex.get(gv)
+                if lv is not None and a.rest_degree[lv] >= 0:
+                    covered = a.vertex_parts[lv]
+                    # vertex 2 neighbours an allocated edge -> {0}
+                    if gv == 2:
+                        assert covered == {0}
+
+    def test_memory_reported(self, small_rmat):
+        cluster, alloc, _ = _single_proc_setup(small_rmat)
+        stats = cluster.stats.stats_for(alloc.pid)
+        assert stats.peak_resident_bytes > 0

@@ -1,0 +1,154 @@
+"""Unit tests for repro.metrics.bounds (§6 theory)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bounds import (
+    PAPER_TABLE1,
+    TABLE1_ALPHAS,
+    dbh_expected_bound_powerlaw,
+    dne_expected_bound_powerlaw,
+    grid_expected_bound_powerlaw,
+    pareto_mean_degree,
+    powerlaw_degree_pmf,
+    random_expected_bound_powerlaw,
+    riemann_zeta,
+    table1_rows,
+    theorem1_upper_bound,
+    theorem2_construction_rf,
+    theorem3_local_time_bound,
+)
+
+MAXD = 100_000  # plenty for 2-decimal accuracy, keeps tests fast
+
+
+class TestTheorem1:
+    def test_formula(self):
+        assert theorem1_upper_bound(100, 500, 8) == pytest.approx(6.08)
+
+    def test_rejects_zero_vertices(self):
+        with pytest.raises(ValueError):
+            theorem1_upper_bound(0, 10, 2)
+
+    def test_bound_at_least_one_plus_density(self):
+        ub = theorem1_upper_bound(1000, 5000, 16)
+        assert ub > 5000 / 1000
+
+
+class TestTheorem2:
+    def test_ratio_tends_to_one(self):
+        ratios = [theorem2_construction_rf(n)[0]
+                  / theorem2_construction_rf(n)[1]
+                  for n in (4, 8, 16, 64, 256)]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 0.99
+
+    def test_rf_below_ub(self):
+        for n in (3, 5, 10):
+            rf, ub = theorem2_construction_rf(n)
+            assert rf < ub
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            theorem2_construction_rf(2)
+
+
+class TestTheorem3:
+    def test_scaling_in_units(self):
+        t1 = theorem3_local_time_bound(10, 10_000, 16, 1)
+        t4 = theorem3_local_time_bound(10, 10_000, 16, 4)
+        assert t1 == pytest.approx(4 * t4)
+
+    def test_monotone_in_degree(self):
+        lo = theorem3_local_time_bound(5, 10_000, 16, 2)
+        hi = theorem3_local_time_bound(50, 10_000, 16, 2)
+        assert hi > lo
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            theorem3_local_time_bound(0, 100, 4, 1)
+
+
+class TestZetaMachinery:
+    def test_zeta_2(self):
+        assert riemann_zeta(2.0, 100_000) == pytest.approx(
+            np.pi ** 2 / 6, rel=1e-6)
+
+    def test_zeta_diverges(self):
+        with pytest.raises(ValueError):
+            riemann_zeta(1.0)
+
+    def test_pmf_normalised(self):
+        pmf = powerlaw_degree_pmf(2.5, 10_000)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_monotone_decreasing(self):
+        pmf = powerlaw_degree_pmf(2.5, 1000)
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_pmf_bad_alpha(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_pmf(0.5)
+
+    def test_pareto_mean(self):
+        assert pareto_mean_degree(2.2) == pytest.approx(6.0)
+        assert pareto_mean_degree(3.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            pareto_mean_degree(2.0)
+
+
+class TestTable1:
+    def test_dne_row_matches_paper(self):
+        """The zeta-form bound reproduces the paper's D.NE row exactly
+        (2 decimals)."""
+        for alpha, expected in zip(TABLE1_ALPHAS,
+                                   PAPER_TABLE1["Distributed NE"]):
+            got = dne_expected_bound_powerlaw(alpha, MAXD)
+            assert got == pytest.approx(expected, abs=0.01)
+
+    def test_random_row_close_to_paper(self):
+        """Pareto-mean evaluation lands within ~1.5% of the paper."""
+        for alpha, expected in zip(TABLE1_ALPHAS,
+                                   PAPER_TABLE1["Random (1D-hash)"]):
+            got = random_expected_bound_powerlaw(alpha, 256)
+            assert got == pytest.approx(expected, rel=0.02)
+
+    def test_grid_row_reproduces_ordering(self):
+        """Grid < Random at every alpha (paper's qualitative claim)."""
+        for alpha in TABLE1_ALPHAS:
+            grid = grid_expected_bound_powerlaw(alpha, 256)
+            rand = random_expected_bound_powerlaw(alpha, 256)
+            assert grid < rand
+
+    def test_dne_beats_random_and_grid(self):
+        for alpha in TABLE1_ALPHAS:
+            dne = dne_expected_bound_powerlaw(alpha, MAXD)
+            assert dne < grid_expected_bound_powerlaw(alpha, 256)
+            assert dne < random_expected_bound_powerlaw(alpha, 256)
+
+    def test_bounds_decrease_with_alpha(self):
+        """Steeper power laws are easier — all rows shrink with alpha."""
+        for fn in (lambda a: random_expected_bound_powerlaw(a, 256),
+                   lambda a: grid_expected_bound_powerlaw(a, 256),
+                   lambda a: dbh_expected_bound_powerlaw(a, 256),
+                   lambda a: dne_expected_bound_powerlaw(a, MAXD)):
+            values = [fn(a) for a in TABLE1_ALPHAS]
+            assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_discrete_model_lower_than_pareto_mean(self):
+        """Jensen: plugging the mean upper-bounds the discrete
+        expectation for these concave-in-d formulas."""
+        for alpha in TABLE1_ALPHAS:
+            disc = random_expected_bound_powerlaw(alpha, 256, "discrete",
+                                                  MAXD)
+            jens = random_expected_bound_powerlaw(alpha, 256, "pareto-mean")
+            assert disc < jens
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows(max_degree=MAXD)
+        assert set(rows) == set(PAPER_TABLE1)
+        assert all(len(v) == len(TABLE1_ALPHAS) for v in rows.values())
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            random_expected_bound_powerlaw(2.5, 16, model="bogus")

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.edgelist import save_edges_tsv
+from repro.graph.generators import rmat_edges
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "--dataset", "pokec", "--method", "nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed_ne" in out
+        assert "pokec" in out
+        assert "roadnet-ca" in out
+
+    def test_partition_dataset_and_inspect(self, tmp_path, capsys):
+        out_path = tmp_path / "part.npz"
+        code = main(["partition", "--dataset", "pokec",
+                     "--method", "random", "-p", "4",
+                     "--out", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "replication factor" in out
+
+        assert main(["inspect", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "method=random" in out
+
+    def test_partition_from_edge_file(self, tmp_path, capsys):
+        edges = rmat_edges(8, 4, seed=0)
+        path = tmp_path / "edges.tsv"
+        save_edges_tsv(path, edges)
+        code = main(["partition", "--edges", str(path),
+                     "--method", "dbh", "-p", "4"])
+        assert code == 0
+        assert "method=dbh" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Distributed NE" in out
+
+    def test_experiment_theorem2(self, capsys):
+        assert main(["experiment", "theorem2"]) == 0
+        assert "upper_bound" in capsys.readouterr().out
+
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6", "--dataset", "flickr",
+                     "-p", "4"]) == 0
+        assert "lambda" in capsys.readouterr().out
+
+    @pytest.fixture
+    def saved_partition(self, tmp_path):
+        out_path = tmp_path / "part.npz"
+        main(["partition", "--dataset", "flickr", "--method", "grid",
+              "-p", "4", "--out", str(out_path)])
+        return out_path
+
+    def test_app_sssp(self, saved_partition, capsys):
+        capsys.readouterr()
+        assert main(["app", "sssp", str(saved_partition),
+                     "--source", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sssp from 1" in out
+        assert "communication" in out
+
+    def test_app_wcc(self, saved_partition, capsys):
+        capsys.readouterr()
+        assert main(["app", "wcc", str(saved_partition)]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_app_pagerank(self, saved_partition, capsys):
+        capsys.readouterr()
+        assert main(["app", "pagerank", str(saved_partition),
+                     "--iterations", "3"]) == 0
+        assert "top vertex" in capsys.readouterr().out

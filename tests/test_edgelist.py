@@ -1,0 +1,125 @@
+"""Unit tests for repro.graph.edgelist."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.edgelist import (
+    canonical_edges,
+    edges_from_pairs,
+    load_edges_tsv,
+    num_vertices,
+    random_permute_edges,
+    relabel_compact,
+    save_edges_tsv,
+    vertex_ids,
+)
+
+
+class TestEdgesFromPairs:
+    def test_list_of_tuples(self):
+        arr = edges_from_pairs([(0, 1), (2, 3)])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.int64
+
+    def test_empty(self):
+        arr = edges_from_pairs([])
+        assert arr.shape == (0, 2)
+
+    def test_passthrough_array(self):
+        src = np.array([[1, 2]], dtype=np.int64)
+        assert edges_from_pairs(src).shape == (1, 2)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            edges_from_pairs([(1, 2, 3)])
+
+
+class TestCanonicalEdges:
+    def test_orients_rows(self):
+        out = canonical_edges(np.array([[5, 2], [1, 3]]))
+        assert (out[:, 0] <= out[:, 1]).all()
+
+    def test_removes_self_loops(self):
+        out = canonical_edges(np.array([[1, 1], [0, 2]]))
+        assert len(out) == 1
+        assert out[0].tolist() == [0, 2]
+
+    def test_dedups_both_orientations(self):
+        out = canonical_edges(np.array([[0, 1], [1, 0], [0, 1]]))
+        assert len(out) == 1
+
+    def test_sorted_lexicographically(self):
+        out = canonical_edges(np.array([[3, 4], [0, 9], [0, 2]]))
+        assert out.tolist() == [[0, 2], [0, 9], [3, 4]]
+
+    def test_all_self_loops_gives_empty(self):
+        out = canonical_edges(np.array([[1, 1], [2, 2]]))
+        assert out.shape == (0, 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                    max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_is_idempotent(self, pairs):
+        once = canonical_edges(edges_from_pairs(pairs))
+        twice = canonical_edges(once)
+        assert np.array_equal(once, twice)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_preserves_edge_set(self, pairs):
+        out = canonical_edges(edges_from_pairs(pairs))
+        expected = {(min(u, v), max(u, v)) for u, v in pairs if u != v}
+        assert {tuple(row) for row in out.tolist()} == expected
+
+
+class TestRelabelAndIds:
+    def test_relabel_compact_dense_range(self):
+        edges = np.array([[10, 20], [20, 30]])
+        new, old = relabel_compact(edges)
+        assert set(np.unique(new)) == {0, 1, 2}
+        assert old.tolist() == [10, 20, 30]
+
+    def test_relabel_roundtrip(self):
+        edges = canonical_edges(np.array([[100, 7], [7, 55]]))
+        new, old = relabel_compact(edges)
+        restored = old[new]
+        assert np.array_equal(np.sort(restored, axis=1),
+                              np.sort(edges, axis=1))
+
+    def test_num_vertices(self):
+        assert num_vertices(np.array([[0, 5]])) == 6
+        assert num_vertices(np.empty((0, 2), dtype=np.int64)) == 0
+
+    def test_vertex_ids(self):
+        ids = vertex_ids(np.array([[3, 1], [1, 7]]))
+        assert ids.tolist() == [1, 3, 7]
+
+
+class TestPermuteAndIO:
+    def test_permutation_is_deterministic_per_seed(self):
+        edges = canonical_edges(np.array([[0, 1], [1, 2], [2, 3], [3, 4]]))
+        a = random_permute_edges(edges, seed=5)
+        b = random_permute_edges(edges, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_permutation_preserves_rows(self):
+        edges = canonical_edges(np.array([[0, 1], [1, 2], [2, 3]]))
+        out = random_permute_edges(edges, seed=1)
+        assert sorted(map(tuple, out.tolist())) == sorted(
+            map(tuple, edges.tolist()))
+
+    def test_tsv_roundtrip(self, tmp_path):
+        edges = canonical_edges(np.array([[0, 1], [2, 5], [1, 4]]))
+        path = tmp_path / "edges.tsv"
+        save_edges_tsv(path, edges)
+        loaded = load_edges_tsv(path)
+        assert np.array_equal(loaded, edges)
+
+    def test_tsv_skips_comments(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# comment\n0\t1\n\n2\t3\n")
+        loaded = load_edges_tsv(path)
+        assert loaded.tolist() == [[0, 1], [2, 3]]

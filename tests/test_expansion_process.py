@@ -1,0 +1,61 @@
+"""Unit tests for the expansion process and boundary queue."""
+
+import numpy as np
+import pytest
+
+from repro.core.expansion import BoundaryQueue
+
+
+class TestBoundaryQueue:
+    def test_pop_min_order(self):
+        q = BoundaryQueue()
+        q.insert(10, 5)
+        q.insert(20, 1)
+        q.insert(30, 3)
+        assert q.pop_k_min(3) == [20, 30, 10]
+
+    def test_pop_k_respects_k(self):
+        q = BoundaryQueue()
+        for v, d in [(1, 4), (2, 2), (3, 9)]:
+            q.insert(v, d)
+        assert q.pop_k_min(2) == [2, 1]
+        assert len(q) == 1
+
+    def test_duplicate_insert_ignored(self):
+        q = BoundaryQueue()
+        q.insert(7, 3)
+        q.insert(7, 1)  # second insert dropped (set semantics)
+        assert len(q) == 1
+        assert q.pop_k_min(5) == [7]
+
+    def test_pop_from_empty(self):
+        assert BoundaryQueue().pop_k_min(3) == []
+
+    def test_len_tracks_members(self):
+        q = BoundaryQueue()
+        q.insert(1, 1)
+        q.insert(2, 2)
+        assert len(q) == 2
+        q.pop_k_min(1)
+        assert len(q) == 1
+
+    def test_tie_breaks_by_vertex_id(self):
+        q = BoundaryQueue()
+        q.insert(9, 2)
+        q.insert(3, 2)
+        assert q.pop_k_min(2) == [3, 9]
+
+
+class TestMultiExpansionK:
+    """k = max(1, ceil(lambda * |B|)) from Algorithm 4."""
+
+    @pytest.mark.parametrize("lam,boundary,expected", [
+        (0.1, 100, 10),
+        (0.1, 5, 1),
+        (1.0, 7, 7),
+        (0.001, 50, 1),
+        (0.5, 3, 2),
+    ])
+    def test_k_formula(self, lam, boundary, expected):
+        k = max(1, int(np.ceil(lam * boundary)))
+        assert k == expected

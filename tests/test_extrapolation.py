@@ -1,0 +1,92 @@
+"""Unit tests for the trillion-edge cost-model extrapolation."""
+
+import pytest
+
+from repro.bench.extrapolation import (
+    TRILLION_EDGE_CONFIG,
+    CostModel,
+    extrapolate,
+    fit_cost_model,
+)
+
+
+def _synthetic_rows(a=1e-6, b=0.05, c=0.2):
+    """Rows generated from a known model (exact fit expected).
+
+    The (machines, edges) pairs deliberately avoid edges/machines being
+    proportional to machines — that would make the design matrix
+    rank-deficient and the fit non-identifiable.
+    """
+    rows = []
+    for machines, edges in ((2, 40_000), (4, 100_000), (8, 640_000),
+                            (16, 1_000_000)):
+        rows.append({
+            "machines": machines,
+            "edges": edges,
+            "elapsed_seconds": a * edges / machines + b * machines + c,
+        })
+    return rows
+
+
+class TestCostModel:
+    def test_predict(self):
+        model = CostModel(1e-6, 0.1, 1.0)
+        assert model.predict_seconds(1_000_000, 10) == pytest.approx(
+            0.1 + 1.0 + 1.0)
+
+    def test_predict_validation(self):
+        model = CostModel(1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.predict_seconds(10, 0)
+        with pytest.raises(ValueError):
+            model.predict_seconds(-1, 2)
+
+
+class TestFit:
+    def test_recovers_known_coefficients(self):
+        model = fit_cost_model(_synthetic_rows(a=2e-6, b=0.03, c=0.5))
+        assert model.per_edge_per_machine == pytest.approx(2e-6, rel=1e-6)
+        assert model.per_machine == pytest.approx(0.03, rel=1e-6)
+        assert model.fixed == pytest.approx(0.5, rel=1e-6)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_cost_model(_synthetic_rows()[:2])
+
+    def test_clamps_negative_coefficients(self):
+        rows = [
+            {"machines": 2, "edges": 100, "elapsed_seconds": 1.0},
+            {"machines": 4, "edges": 100, "elapsed_seconds": 0.2},
+            {"machines": 8, "edges": 100, "elapsed_seconds": 0.05},
+        ]
+        model = fit_cost_model(rows)
+        assert model.per_edge_per_machine >= 0
+        assert model.per_machine >= 0
+        assert model.fixed >= 0
+
+
+class TestExtrapolate:
+    def test_defaults_to_trillion_config(self):
+        model = CostModel(1e-9, 0.01, 0.0)
+        out = extrapolate(model)
+        assert out["edges"] == TRILLION_EDGE_CONFIG["edges"]
+        assert out["machines"] == 256
+        assert out["paper_minutes"] == pytest.approx(69.7)
+        assert out["predicted_minutes"] == pytest.approx(
+            out["predicted_seconds"] / 60.0)
+
+    def test_custom_target(self):
+        model = CostModel(0.0, 1.0, 0.0)
+        out = extrapolate(model, edges=10, machines=3)
+        assert out["predicted_seconds"] == pytest.approx(3.0)
+
+    def test_weak_scaling_shape(self):
+        """Under the fitted structure, fixed per-machine load + growing
+        machines => time grows linearly in machines (Fig 10j)."""
+        model = CostModel(1e-6, 0.05, 0.1)
+        per_machine_edges = 1_000_000
+        times = [model.predict_seconds(per_machine_edges * m, m)
+                 for m in (4, 16, 64)]
+        assert times[0] < times[1] < times[2]
+        # growth dominated by the linear term
+        assert (times[2] - times[1]) > (times[1] - times[0])

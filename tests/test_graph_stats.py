@@ -1,0 +1,113 @@
+"""Unit tests for repro.graph.stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import (
+    grid_road_network,
+    powerlaw_chung_lu,
+    ring_graph,
+    rmat_edges,
+)
+from repro.graph.stats import (
+    connected_components,
+    degree_statistics,
+    fit_powerlaw_alpha,
+    is_skewed,
+    num_connected_components,
+)
+
+
+class TestDegreeStatistics:
+    def test_ring_is_uniform(self):
+        g = CSRGraph(ring_graph(50))
+        stats = degree_statistics(g)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.median == pytest.approx(2.0)
+        assert stats.max == 2
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_skewed(self, star):
+        stats = degree_statistics(star)
+        assert stats.max == 8
+        assert stats.median == 1.0
+        assert stats.gini > 0.3
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.empty((0, 2), dtype=np.int64))
+        stats = degree_statistics(g)
+        assert stats.mean == 0.0
+        assert stats.max == 0
+
+    def test_isolated_vertices_excluded_by_default(self):
+        g = CSRGraph(np.array([[0, 1]]), num_vertices=100)
+        assert degree_statistics(g).mean == pytest.approx(1.0)
+        with_iso = degree_statistics(g, include_isolated=True)
+        assert with_iso.mean < 0.1
+
+    def test_hub_share_bounds(self, medium_rmat):
+        stats = degree_statistics(medium_rmat)
+        assert 0.0 < stats.hub_share <= 1.0
+
+
+class TestPowerlawFit:
+    def test_recovers_generated_alpha(self):
+        g = CSRGraph(powerlaw_chung_lu(20_000, alpha=2.5, seed=0))
+        alpha = fit_powerlaw_alpha(g, d_min=2)
+        assert 2.0 < alpha < 3.2
+
+    def test_rmat_in_paper_range(self):
+        # Dense RMAT graphs fit a flatter exponent than sparse power
+        # laws; the point is the estimator lands in a sane range.
+        g = CSRGraph(rmat_edges(12, 16, seed=0))
+        alpha = fit_powerlaw_alpha(g, d_min=2)
+        assert 1.2 < alpha < 3.5
+
+    def test_dmin_validation(self, triangle):
+        with pytest.raises(ValueError):
+            fit_powerlaw_alpha(triangle, d_min=0)
+
+    def test_no_qualifying_vertices(self, triangle):
+        with pytest.raises(ValueError):
+            fit_powerlaw_alpha(triangle, d_min=100)
+
+
+class TestComponents:
+    def test_two_triangles(self, two_triangles):
+        labels = connected_components(two_triangles)
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == labels[5] == 3
+        assert num_connected_components(two_triangles) == 2
+
+    def test_connected_graph(self, path4):
+        assert num_connected_components(path4) == 1
+
+    def test_isolated_vertices(self):
+        g = CSRGraph(np.array([[0, 1]]), num_vertices=5)
+        assert num_connected_components(g, ignore_isolated=True) == 1
+        assert num_connected_components(g, ignore_isolated=False) == 4
+
+    def test_empty(self):
+        g = CSRGraph(np.empty((0, 2), dtype=np.int64))
+        assert num_connected_components(g) == 0
+
+    def test_labels_are_component_minima(self, two_triangles):
+        labels = connected_components(two_triangles)
+        assert set(labels.tolist()) == {0, 3}
+
+
+class TestIsSkewed:
+    def test_social_standins_skewed(self):
+        assert is_skewed(load_dataset("pokec"))
+        assert is_skewed(load_dataset("orkut"))
+
+    def test_road_standins_not_skewed(self):
+        assert not is_skewed(load_dataset("roadnet-pa"))
+
+    def test_ring_not_skewed(self):
+        assert not is_skewed(CSRGraph(ring_graph(100)))
+
+    def test_grid_not_skewed(self):
+        assert not is_skewed(CSRGraph(grid_road_network(20, 20, seed=0)))

@@ -1,0 +1,138 @@
+"""Unit tests for repro.metrics.quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.metrics.quality import (
+    balance,
+    edge_balance,
+    partition_edge_counts,
+    partition_vertex_counts,
+    replication_factor,
+    validate_assignment,
+    vertex_balance,
+    vertex_cut_count,
+)
+
+
+class TestValidate:
+    def test_accepts_valid(self, triangle):
+        validate_assignment(triangle, np.array([0, 1, 0]), 2)
+
+    def test_rejects_wrong_length(self, triangle):
+        with pytest.raises(ValueError):
+            validate_assignment(triangle, np.array([0, 1]), 2)
+
+    def test_rejects_out_of_range(self, triangle):
+        with pytest.raises(ValueError):
+            validate_assignment(triangle, np.array([0, 2, 0]), 2)
+        with pytest.raises(ValueError):
+            validate_assignment(triangle, np.array([0, -1, 0]), 2)
+
+
+class TestVertexCounts:
+    def test_single_partition_counts_covered(self, triangle):
+        counts = partition_vertex_counts(triangle, np.zeros(3, np.int64), 1)
+        assert counts.tolist() == [3]
+
+    def test_split_triangle(self, triangle):
+        # edges (0,1)->0, (0,2)->1, (1,2)->1
+        counts = partition_vertex_counts(triangle, np.array([0, 1, 1]), 2)
+        assert counts.tolist() == [2, 3]
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.empty((0, 2), dtype=np.int64))
+        counts = partition_vertex_counts(g, np.empty(0, np.int64), 4)
+        assert counts.tolist() == [0, 0, 0, 0]
+
+
+class TestReplicationFactor:
+    def test_single_partition_is_one(self, small_rmat):
+        rf = replication_factor(
+            small_rmat, np.zeros(small_rmat.num_edges, np.int64), 1)
+        assert rf == pytest.approx(1.0)
+
+    def test_path_split_every_edge(self, path4):
+        # each edge its own partition: middle vertices doubled
+        rf = replication_factor(path4, np.array([0, 1, 2]), 3)
+        # replicas: v0:1 v1:2 v2:2 v3:1 = 6 over 4 vertices
+        assert rf == pytest.approx(6 / 4)
+
+    def test_isolated_vertices_excluded_from_normaliser(self):
+        g = CSRGraph(np.array([[0, 1]]), num_vertices=100)
+        rf = replication_factor(g, np.array([0]), 2)
+        assert rf == pytest.approx(1.0)
+
+    def test_vertex_cut_count(self, path4):
+        cuts = vertex_cut_count(path4, np.array([0, 1, 2]), 3)
+        assert cuts == 2  # v1 and v2 duplicated once each
+
+
+class TestBalance:
+    def test_perfectly_balanced(self):
+        assert balance([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_imbalanced(self):
+        assert balance([10, 0, 0, 0, 0]) == pytest.approx(5.0)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(balance([]))
+        assert np.isnan(balance([0, 0]))
+
+    def test_edge_balance(self):
+        assert edge_balance(np.array([0, 0, 1, 1]), 2) == pytest.approx(1.0)
+        assert edge_balance(np.array([0, 0, 0, 1]), 2) == pytest.approx(1.5)
+
+    def test_vertex_balance(self, triangle):
+        vb = vertex_balance(triangle, np.array([0, 1, 1]), 2)
+        assert vb == pytest.approx(3 / 2.5)
+
+    def test_partition_edge_counts(self):
+        counts = partition_edge_counts(np.array([0, 1, 1, 3]), 4)
+        assert counts.tolist() == [1, 2, 0, 1]
+
+
+class TestMetricProperties:
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_rf_bounds(self, seed, p):
+        """1 <= RF <= min(p, max over assignments) for any assignment."""
+        g = CSRGraph(rmat_edges(7, 4, seed=seed % 1000))
+        if g.num_edges == 0:
+            return
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, p, size=g.num_edges)
+        rf = replication_factor(g, assignment, p)
+        assert 1.0 <= rf <= p
+
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_rf_equals_cuts_plus_one_normalised(self, seed, p):
+        """RF * covered == cuts + covered (definition consistency)."""
+        g = CSRGraph(rmat_edges(7, 4, seed=seed % 1000))
+        if g.num_edges == 0:
+            return
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, p, size=g.num_edges)
+        covered = int(np.count_nonzero(g.degrees()))
+        rf = replication_factor(g, assignment, p)
+        cuts = vertex_cut_count(g, assignment, p)
+        assert rf * covered == pytest.approx(cuts + covered)
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_merging_partitions_never_increases_rf(self, seed):
+        """Collapsing two partitions into one can only reduce RF."""
+        g = CSRGraph(rmat_edges(7, 4, seed=seed % 1000))
+        if g.num_edges == 0:
+            return
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, 4, size=g.num_edges)
+        merged = np.where(assignment == 3, 2, assignment)
+        rf_before = replication_factor(g, assignment, 4)
+        rf_after = replication_factor(g, merged, 4)
+        assert rf_after <= rf_before + 1e-12

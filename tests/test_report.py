@@ -1,0 +1,64 @@
+"""Tests for the per-partition quality report."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedNE
+from repro.metrics.report import format_report, partition_report
+from repro.partitioners.base import EdgePartition
+from repro.partitioners.hashing import RandomPartitioner
+
+
+class TestPartitionReport:
+    def test_aggregates_match_partition_methods(self, medium_rmat):
+        part = DistributedNE(8, seed=0).partition(medium_rmat)
+        report = partition_report(part)
+        assert report.replication_factor == pytest.approx(
+            part.replication_factor())
+        assert report.edge_balance == pytest.approx(part.edge_balance())
+        assert report.vertex_balance == pytest.approx(part.vertex_balance())
+        assert report.num_partitions == 8
+
+    def test_counts_sum_correctly(self, medium_rmat):
+        part = RandomPartitioner(4, seed=0).partition(medium_rmat)
+        report = partition_report(part)
+        assert report.edge_counts.sum() == medium_rmat.num_edges
+        covered = int(np.count_nonzero(medium_rmat.degrees()))
+        # total vertex placements = covered + cuts
+        assert report.vertex_counts.sum() == covered + report.vertex_cuts
+
+    def test_mirror_counts(self, medium_rmat):
+        """Mirrors = total placements - one master per covered vertex."""
+        part = RandomPartitioner(4, seed=0).partition(medium_rmat)
+        report = partition_report(part)
+        covered = int(np.count_nonzero(medium_rmat.degrees()))
+        assert report.mirror_counts.sum() == \
+            report.vertex_counts.sum() - covered
+
+    def test_single_partition_no_mirrors(self, triangle):
+        part = RandomPartitioner(1, seed=0).partition(triangle)
+        report = partition_report(part)
+        assert report.mirror_counts.tolist() == [0]
+        assert report.vertex_cuts == 0
+
+    def test_manual_example(self, path4):
+        """Path split per-edge: middle vertices mirrored once each."""
+        part = EdgePartition(path4, 3, np.array([0, 1, 2]), method="manual")
+        report = partition_report(part)
+        assert report.vertex_cuts == 2
+        assert report.mirror_counts.sum() == 2
+        assert report.edge_counts.tolist() == [1, 1, 1]
+
+
+class TestFormatReport:
+    def test_contains_headline_numbers(self, small_rmat):
+        part = RandomPartitioner(4, seed=0).partition(small_rmat)
+        text = format_report(partition_report(part))
+        assert "replication factor" in text
+        assert "method=random" in text
+        assert "mirrors" in text
+
+    def test_row_truncation(self, small_rmat):
+        part = RandomPartitioner(8, seed=0).partition(small_rmat)
+        text = format_report(partition_report(part), max_rows=3)
+        assert "(5 more)" in text

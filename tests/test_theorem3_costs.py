@@ -1,0 +1,83 @@
+"""Empirical checks of the Theorem 3 cost model.
+
+Theorem 3 bounds the per-unit local work of the allocation phase by
+``O(d |E| (|P| + d) / (n |P|))``, dominated by the two-hop scan.  The
+allocation processes count the adjacency slots they touch; these tests
+check the counts behave like the bound says: bounded by degree-scaled
+totals and shrinking per process as processes are added.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedNE
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.metrics.bounds import theorem3_local_time_bound
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return CSRGraph(rmat_edges(10, 8, seed=3))
+
+
+class TestOperationCounts:
+    def test_counters_populate(self, graph):
+        result = DistributedNE(8, seed=0).partition(graph)
+        assert result.extra["ops_one_hop"] > 0
+        assert result.extra["ops_two_hop"] > 0
+
+    def test_two_hop_scan_dominates(self, graph):
+        """The proof's premise: AllocateTwoHopNeighbors is the dominant
+        local computation (each boundary vertex triggers a scan)."""
+        result = DistributedNE(8, seed=0).partition(graph)
+        assert (result.extra["ops_two_hop"]
+                >= 0.5 * result.extra["ops_one_hop"])
+
+    def test_total_ops_linear_in_edges(self):
+        """Total adjacency work stays within a constant factor of
+        d-scaled edge totals across graph sizes."""
+        ratios = []
+        for scale in (8, 9, 10):
+            g = CSRGraph(rmat_edges(scale, 8, seed=1))
+            result = DistributedNE(4, seed=0).partition(g)
+            total = result.extra["ops_one_hop"] + result.extra["ops_two_hop"]
+            ratios.append(total / g.num_edges)
+        # ops per edge stays bounded (no superlinear blow-up)
+        assert max(ratios) < 10 * min(ratios)
+
+    def test_ops_within_theorem3_envelope(self, graph):
+        """Measured per-process two-hop work <= the Theorem 3 bound
+        (with unit constant, n = |P| computing units)."""
+        p = 8
+        result = DistributedNE(p, seed=0).partition(graph)
+        per_process = result.extra["ops_two_hop"] / p
+        bound = theorem3_local_time_bound(
+            graph.max_degree(), graph.num_edges, p, 1)
+        assert per_process <= bound
+
+    def test_disabling_two_hop_zeroes_counter(self, graph):
+        result = DistributedNE(8, seed=0, two_hop=False).partition(graph)
+        assert result.extra["ops_two_hop"] == 0
+
+
+class TestHistoryTrace:
+    def test_history_collected_when_asked(self, graph):
+        result = DistributedNE(4, seed=0,
+                               collect_history=True).partition(graph)
+        history = result.extra["history"]
+        assert len(history) == result.iterations
+        allocated = [h["allocated_edges"] for h in history]
+        # monotone non-decreasing, ends with the whole graph
+        assert all(b >= a for a, b in zip(allocated, allocated[1:]))
+        assert allocated[-1] == graph.num_edges
+
+    def test_history_absent_by_default(self, graph):
+        result = DistributedNE(4, seed=0).partition(graph)
+        assert "history" not in result.extra
+
+    def test_live_partitions_never_increase(self, graph):
+        result = DistributedNE(4, seed=0,
+                               collect_history=True).partition(graph)
+        live = [h["live_partitions"] for h in result.extra["history"]]
+        assert all(b <= a for a, b in zip(live, live[1:]))

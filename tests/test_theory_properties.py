@@ -1,0 +1,103 @@
+"""Property-based tests of the paper's theoretical guarantees.
+
+Theorem 1 is a *universal* guarantee — the replication factor of any
+Distributed NE run is bounded by ``(|E| + |V| + |P|)/|V|`` — so it is
+the perfect target for hypothesis: random graphs, random partition
+counts, random seeds, the bound must always hold.  (The theorem is
+stated for the pure algorithm, λ→0; the paper notes multi-expansion is
+excluded, so the property run pins ``lam`` to its minimum.)
+
+Partition validity (disjoint cover of E) is likewise checked for every
+partitioner in the registry on random graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistributedNE
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import canonical_edges
+from repro.metrics.bounds import theorem1_upper_bound
+from repro.metrics.quality import replication_factor, validate_assignment
+from repro.partitioners import PARTITIONER_REGISTRY
+
+SLOW_SETTINGS = settings(max_examples=15, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_graph(draw_edges: list[tuple[int, int]]) -> CSRGraph | None:
+    edges = canonical_edges(np.array(draw_edges, dtype=np.int64))
+    if len(edges) == 0:
+        return None
+    return CSRGraph(edges)
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 40)),
+    min_size=1, max_size=200)
+
+
+class TestTheorem1Property:
+    @given(edges=edge_lists, p=st.integers(2, 6), seed=st.integers(0, 99))
+    @SLOW_SETTINGS
+    def test_rf_never_exceeds_bound(self, edges, p, seed):
+        graph = _random_graph(edges)
+        if graph is None:
+            return
+        part = DistributedNE(p, seed=seed, lam=1e-9).partition(graph)
+        covered = int(np.count_nonzero(graph.degrees()))
+        ub = theorem1_upper_bound(covered, graph.num_edges, p)
+        rf = part.replication_factor()
+        assert rf <= ub + 1e-9, f"RF {rf} exceeds Theorem 1 bound {ub}"
+
+    @given(edges=edge_lists, seed=st.integers(0, 99))
+    @SLOW_SETTINGS
+    def test_bound_also_holds_with_multi_expansion(self, edges, seed):
+        """Empirically the bound holds with λ=0.1 too (the paper's
+        production configuration) — a stronger observation than the
+        theorem itself."""
+        graph = _random_graph(edges)
+        if graph is None:
+            return
+        part = DistributedNE(4, seed=seed, lam=0.1).partition(graph)
+        covered = int(np.count_nonzero(graph.degrees()))
+        ub = theorem1_upper_bound(covered, graph.num_edges, 4)
+        assert part.replication_factor() <= ub + 1e-9
+
+
+class TestPartitionValidityProperty:
+    @given(edges=edge_lists, seed=st.integers(0, 20))
+    @SLOW_SETTINGS
+    def test_every_method_produces_a_true_partition(self, edges, seed):
+        graph = _random_graph(edges)
+        if graph is None:
+            return
+        for name, cls in PARTITIONER_REGISTRY.items():
+            result = cls(3, seed=seed).partition(graph)
+            validate_assignment(graph, result.assignment, 3)
+            assert len(result.assignment) == graph.num_edges, name
+
+    @given(edges=edge_lists, seed=st.integers(0, 20), p=st.integers(1, 8))
+    @SLOW_SETTINGS
+    def test_rf_at_least_one(self, edges, seed, p):
+        graph = _random_graph(edges)
+        if graph is None:
+            return
+        part = DistributedNE(p, seed=seed).partition(graph)
+        assert part.replication_factor() >= 1.0 - 1e-12
+
+
+class TestDeterminismProperty:
+    @given(edges=edge_lists, seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_same_seed_same_result(self, edges, seed):
+        graph = _random_graph(edges)
+        if graph is None:
+            return
+        a = DistributedNE(4, seed=seed).partition(graph)
+        b = DistributedNE(4, seed=seed).partition(graph)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert a.iterations == b.iterations

@@ -1,0 +1,105 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import ring_graph, rmat_edges
+from repro.graph.stats import num_connected_components
+from repro.graph.transform import (
+    cap_degrees,
+    largest_connected_component,
+    relabel_by_degree,
+    sample_edges,
+)
+
+
+class TestLargestComponent:
+    def test_picks_bigger_component(self, two_triangles):
+        # equal components: ties resolved deterministically, 3 edges kept
+        lcc = largest_connected_component(two_triangles)
+        assert lcc.num_edges == 3
+        assert num_connected_components(lcc) == 1
+
+    def test_unequal_components(self):
+        g = CSRGraph(np.array([[0, 1], [1, 2], [2, 3], [3, 0],  # square
+                               [10, 11]]))                      # edge
+        lcc = largest_connected_component(g)
+        assert lcc.num_edges == 4
+        assert lcc.num_vertices == 4  # ids compacted
+
+    def test_connected_graph_unchanged_structurally(self, path4):
+        lcc = largest_connected_component(path4)
+        assert lcc.num_edges == path4.num_edges
+        assert lcc.num_vertices == 4
+
+    def test_empty(self):
+        g = CSRGraph(np.empty((0, 2), dtype=np.int64))
+        assert largest_connected_component(g).num_edges == 0
+
+
+class TestSampleEdges:
+    def test_fraction_one_keeps_everything(self, small_rmat):
+        out = sample_edges(small_rmat, 1.0)
+        assert out.num_edges == small_rmat.num_edges
+        assert out.num_vertices == small_rmat.num_vertices
+
+    def test_fraction_roughly_respected(self, medium_rmat):
+        out = sample_edges(medium_rmat, 0.5, seed=0)
+        assert 0.4 * medium_rmat.num_edges < out.num_edges \
+            < 0.6 * medium_rmat.num_edges
+
+    def test_invalid_fraction(self, small_rmat):
+        with pytest.raises(ValueError):
+            sample_edges(small_rmat, 0.0)
+        with pytest.raises(ValueError):
+            sample_edges(small_rmat, 1.5)
+
+    def test_deterministic(self, small_rmat):
+        a = sample_edges(small_rmat, 0.3, seed=7)
+        b = sample_edges(small_rmat, 0.3, seed=7)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestCapDegrees:
+    def test_cap_enforced(self, star):
+        out = cap_degrees(star, max_degree=3, seed=0)
+        assert out.max_degree() <= 3
+
+    def test_low_degree_graph_untouched(self):
+        g = CSRGraph(ring_graph(20))
+        out = cap_degrees(g, max_degree=5)
+        assert out.num_edges == g.num_edges
+
+    def test_skewed_graph_loses_hub_edges(self, medium_rmat):
+        cap = 10
+        out = cap_degrees(medium_rmat, max_degree=cap, seed=0)
+        assert out.max_degree() <= cap
+        assert out.num_edges < medium_rmat.num_edges
+
+    def test_validation(self, star):
+        with pytest.raises(ValueError):
+            cap_degrees(star, max_degree=0)
+
+
+class TestRelabelByDegree:
+    def test_hubs_get_small_ids(self, star):
+        relabeled, old_of_new = relabel_by_degree(star, descending=True)
+        # the hub (old id 0, degree 8) becomes new id 0
+        assert old_of_new[0] == 0
+        assert relabeled.degree(0) == 8
+
+    def test_ascending(self, star):
+        relabeled, old_of_new = relabel_by_degree(star, descending=False)
+        assert relabeled.degree(relabeled.num_vertices - 1) == 8
+
+    def test_structure_preserved(self, medium_rmat):
+        relabeled, old_of_new = relabel_by_degree(medium_rmat)
+        assert relabeled.num_edges == medium_rmat.num_edges
+        assert sorted(relabeled.degrees().tolist()) == \
+            sorted(medium_rmat.degrees().tolist())
+
+    def test_mapping_is_permutation(self, medium_rmat):
+        _, old_of_new = relabel_by_degree(medium_rmat)
+        assert sorted(old_of_new.tolist()) == \
+            list(range(medium_rmat.num_vertices))

@@ -1,0 +1,57 @@
+"""Tier-1 perf smoke test — kernel regressions fail fast.
+
+A tiny slice of the ``repro bench perf`` suite: on a ~50k-edge RMAT
+graph, the vectorized DNE one-hop kernel must beat the per-slot
+reference by a comfortable margin (the full bench shows >5×; asserting
+2× keeps the test robust to noisy CI boxes), and every kernel pair must
+agree on its outputs.
+
+The full trajectory lives in ``BENCH_kernels.json`` (regenerate with
+``python -m repro bench perf``).
+"""
+
+import numpy as np
+
+from repro.bench.perf import (
+    bench_all_gather_sum,
+    bench_allocation_phases,
+    bench_csr_build,
+    bench_engine_gathers,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+
+
+def _smoke_graph() -> CSRGraph:
+    """~50k-edge RMAT graph (2^13 vertices, EF 8, before dedup 65k)."""
+    return CSRGraph(rmat_edges(13, 8, seed=0))
+
+
+def test_one_hop_vectorized_at_least_2x():
+    graph = _smoke_graph()
+    assert graph.num_edges > 40_000
+    py_one, py_two = bench_allocation_phases(graph, 8, "python")
+    vec_one, vec_two = bench_allocation_phases(graph, 8, "vectorized")
+    assert vec_one > 0 and vec_two > 0
+    assert py_one >= 2.0 * vec_one, (
+        f"one-hop speedup regressed: python {py_one:.3f}s vs "
+        f"vectorized {vec_one:.3f}s ({py_one / vec_one:.2f}x < 2x)")
+
+
+def test_remaining_kernels_run():
+    """Every benched kernel pair executes at a tiny scale."""
+    graph = CSRGraph(rmat_edges(9, 6, seed=1))
+    for kernel in ("python", "vectorized"):
+        t_sum, t_min = bench_engine_gathers(graph, 4, kernel, rounds=1)
+        assert t_sum >= 0 and t_min >= 0
+        assert bench_csr_build(graph.edges, kernel, rounds=1) >= 0
+        assert bench_all_gather_sum(4, kernel, rounds=2) >= 0
+
+
+def test_allocation_outputs_agree_on_smoke_graph():
+    """The timed kernels must also agree — speed without drift."""
+    from repro.core.distributed_ne import DistributedNE
+    graph = CSRGraph(rmat_edges(9, 6, seed=3))
+    a = DistributedNE(4, seed=0).partition(graph)
+    b = DistributedNE(4, seed=0, kernel="python").partition(graph)
+    assert np.array_equal(a.assignment, b.assignment)

@@ -26,6 +26,34 @@ Applications (:mod:`repro.apps.sssp`, :mod:`repro.apps.wcc`,
 :mod:`repro.apps.pagerank`) are built on the two primitives
 :meth:`DistributedGraphEngine.gather_sum` / :meth:`gather_min` plus
 :meth:`scatter_changed`.
+
+Kernel architecture
+-------------------
+The paper's flat-array argument (§4) applies to the execution substrate
+too: per-partition state should be laid out over *compacted local
+vertex ids* (a dense ``0..|V_p|`` relabeling of the partition's covered
+set) so every superstep touches O(m_p + |V_p|) memory, not O(n) dense
+temporaries per partition.  Two kernels are provided:
+
+* ``kernel="vectorized"`` (default) — all partitions' gathers run as
+  ONE fused flat computation: the per-partition compacted id spaces are
+  concatenated into a single ``0..Σ|V_p|`` slot space, gather partials
+  are one ``np.bincount`` scatter-add (sum) or one sorted-segment
+  ``np.minimum.reduceat`` (min) over it, and the global combine is a
+  second ``bincount``/``minimum.at`` through the concatenated covered
+  lists.  No per-partition Python dispatch, no ``O(n)`` temporaries.
+  Per-partition compute time is *attributed* from the measured fused
+  kernel time proportionally to each partition's touched elements
+  (``2 m_p + |V_p|``) — the deterministic cost model a simulator wants,
+  free of per-partition timer noise.
+* ``kernel="python"`` — the original ``np.add.at`` /
+  ``np.minimum.at`` formulation over full ``O(n)`` per-partition
+  temporaries with real per-partition timers, kept as the reference
+  for the perf harness and the equivalence tests.
+
+Both kernels produce bit-identical gather results: ``bincount``
+accumulates each bin in the same element order as the sequential
+``ufunc.at`` loop, and min is order-independent.
 """
 
 from __future__ import annotations
@@ -35,6 +63,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import validate_kernel
 from repro.partitioners.base import EdgePartition
 from repro.partitioners.hashing import splitmix64
 
@@ -65,10 +94,13 @@ class AppRunStats:
 class DistributedGraphEngine:
     """Vertex-cut execution substrate bound to one :class:`EdgePartition`."""
 
-    def __init__(self, partition: EdgePartition, seed: int = 0):
+    def __init__(self, partition: EdgePartition, seed: int = 0,
+                 kernel: str = "vectorized"):
+        validate_kernel(kernel)
         self.partition = partition
         self.graph = partition.graph
         self.p = partition.num_partitions
+        self.kernel = kernel
         n = self.graph.num_vertices
 
         # Per-partition local edge arrays (global vertex ids).
@@ -88,23 +120,84 @@ class DistributedGraphEngine:
         for pid in range(self.p):
             self.replica_count[covered[pid]] += 1
 
-        # Master election: hash picks one replica per vertex.
+        # Master election: hash picks one replica per vertex.  The
+        # per-vertex replica lists are the groups of the concatenated
+        # covered lists sorted by vertex; concatenating in pid order
+        # and sorting stably keeps each group's pids ascending, so the
+        # hash-indexed pick is identical to the old list-of-lists walk.
         self.master = np.full(n, -1, dtype=np.int64)
         pick = splitmix64(np.arange(n), seed=seed)
-        # Build per-vertex replica lists column-by-column to stay vectorised:
-        # repeatedly take the k-th covering partition of each vertex.
-        replica_lists = [[] for _ in range(n)]
-        for pid in range(self.p):
-            for v in covered[pid]:
-                replica_lists[v].append(pid)
-        for v in range(n):
-            reps = replica_lists[v]
-            if reps:
-                self.master[v] = reps[int(pick[v] % np.uint64(len(reps)))]
-        self.replica_lists = replica_lists
+        sizes = np.array([len(c) for c in covered], dtype=np.int64)
+        #: global vertex id of each flat replica slot, grouped by pid
+        self._flat_cov = (np.concatenate(covered) if self.p
+                          else np.empty(0, dtype=np.int64))
+        slot_pid = np.repeat(np.arange(self.p, dtype=np.int64), sizes)
+        if n and self.p:
+            order = np.argsort(self._flat_cov, kind="stable")
+            self._replica_pids = slot_pid[order]   # grouped by vertex
+            grp_start = np.cumsum(self.replica_count) - self.replica_count
+            have = self.replica_count > 0
+            idx = grp_start[have] + (
+                pick[have] % self.replica_count[have].astype(np.uint64)
+            ).astype(np.int64)
+            self.master[have] = self._replica_pids[idx]
+        else:
+            self._replica_pids = np.empty(0, dtype=np.int64)
 
         #: mirrors per vertex = replicas - 1 (clipped at 0 for isolated)
         self.mirror_count = np.maximum(self.replica_count - 1, 0)
+
+        if kernel == "vectorized":
+            self._build_fused(covered, sizes, slot_pid)
+
+    def _build_fused(self, covered: list, sizes: np.ndarray,
+                     slot_pid: np.ndarray) -> None:
+        """Fused flat structures for the vectorized kernels: every
+        partition's compacted vertex ids are packed into one
+        0..Σ|V_p| slot space (partition p's covered set occupies the
+        contiguous block starting at its offset).  The incidence
+        lists keep the reference accumulation order within each
+        partition (dst pass then src pass, edge order), so one global
+        bincount reproduces the per-partition ``ufunc.at`` folds
+        bit-for-bit.  Skipped for ``kernel="python"``, which never
+        reads these arrays.
+        """
+        offsets = np.cumsum(sizes) - sizes
+        self._flat_mirror = self.master[self._flat_cov] != slot_pid
+        targets, sources = [], []
+        for pid in range(self.p):
+            cov = covered[pid]
+            src, dst = self.local_src[pid], self.local_dst[pid]
+            src_c = np.searchsorted(cov, src) + offsets[pid]
+            dst_c = np.searchsorted(cov, dst) + offsets[pid]
+            targets.append(np.concatenate([dst_c, src_c]))
+            sources.append(np.concatenate([src, dst]))
+        self._flat_targets = (np.concatenate(targets) if targets
+                              else np.empty(0, dtype=np.int64))
+        self._flat_sources = (np.concatenate(sources) if sources
+                              else np.empty(0, dtype=np.int64))
+        self._num_slots = int(sizes.sum())
+        perm = np.argsort(self._flat_targets, kind="stable")
+        self._seg_sources = self._flat_sources[perm]
+        self._seg_starts = np.searchsorted(
+            self._flat_targets[perm], np.arange(self._num_slots))
+        # Deterministic per-partition time attribution: share of the
+        # fused kernel time proportional to touched elements.
+        work = 2.0 * np.array([len(s) for s in self.local_src]) + sizes
+        total_work = work.sum()
+        self._work_share = (work / total_work if total_work > 0
+                            else np.zeros(self.p))
+
+    @property
+    def replica_lists(self) -> list:
+        """Per-vertex replica partition lists (ascending pid order)."""
+        lists = getattr(self, "_replica_lists", None)
+        if lists is None:
+            bounds = np.cumsum(self.replica_count)[:-1]
+            lists = [arr.tolist()
+                     for arr in np.split(self._replica_pids, bounds)]
+            self._replica_lists = lists
+        return lists
 
     # ------------------------------------------------------------------
     # Gather primitives
@@ -120,23 +213,38 @@ class DistributedGraphEngine:
         n = self.graph.num_vertices
         contrib = values / np.maximum(self.graph.degrees(), 1) \
             if weight_by_degree else values
-        total = np.zeros(n, dtype=np.float64)
-        local_t = np.zeros(self.p, dtype=np.float64)
-        comm = 0
-        for pid in range(self.p):
+        if self.kernel == "vectorized":
+            # One fused pass: partials for every (partition, covered
+            # vertex) slot at once, then a second bincount folds the
+            # replica partials into the global totals (slots of one
+            # vertex are pid-ascending, matching the reference's
+            # pid-order accumulation).
             t0 = time.perf_counter()
-            partial = np.zeros(n, dtype=np.float64)
-            src, dst = self.local_src[pid], self.local_dst[pid]
-            np.add.at(partial, dst, contrib[src])
-            np.add.at(partial, src, contrib[dst])
-            total += partial
-            local_t[pid] += time.perf_counter() - t0
-            # Mirrors with a nonzero partial push one value to the master.
-            pushed = self.covered[pid][
-                (partial[self.covered[pid]] != 0.0)
-                & (self.master[self.covered[pid]] != pid)]
-            comm += len(pushed) * _VALUE_BYTES
-        stats.comm_bytes += comm
+            partial = np.bincount(self._flat_targets,
+                                  weights=contrib[self._flat_sources],
+                                  minlength=self._num_slots)
+            total = np.bincount(self._flat_cov, weights=partial,
+                                minlength=n)
+            local_t = (time.perf_counter() - t0) * self._work_share
+            # Comm accounting outside the timer, as in the reference.
+            pushed = int(((partial != 0.0) & self._flat_mirror).sum())
+        else:
+            total = np.zeros(n, dtype=np.float64)
+            local_t = np.zeros(self.p, dtype=np.float64)
+            pushed = 0
+            for pid in range(self.p):
+                t0 = time.perf_counter()
+                partial = np.zeros(n, dtype=np.float64)
+                src, dst = self.local_src[pid], self.local_dst[pid]
+                np.add.at(partial, dst, contrib[src])
+                np.add.at(partial, src, contrib[dst])
+                total += partial
+                local_t[pid] += time.perf_counter() - t0
+                # Mirrors with a nonzero partial push one value each.
+                pushed += len(self.covered[pid][
+                    (partial[self.covered[pid]] != 0.0)
+                    & (self.master[self.covered[pid]] != pid)])
+        stats.comm_bytes += pushed * _VALUE_BYTES
         stats.local_seconds += local_t
         stats.elapsed_seconds += float(local_t.max()) if self.p else 0.0
         return total
@@ -151,25 +259,44 @@ class DistributedGraphEngine:
         """
         n = self.graph.num_vertices
         best = np.full(n, np.inf, dtype=np.float64)
-        local_t = np.zeros(self.p, dtype=np.float64)
-        comm = 0
-        for pid in range(self.p):
+        if self.kernel == "vectorized":
+            # Sorted-segment reduction over the fused slot space, then
+            # a min-scatter through the covered lists (min is
+            # order-independent, so the fold order never matters).
             t0 = time.perf_counter()
-            src, dst = self.local_src[pid], self.local_dst[pid]
-            partial = np.full(n, np.inf, dtype=np.float64)
-            mask = active[src]
-            if mask.any():
-                np.minimum.at(partial, dst[mask], values[src[mask]] + offset)
-            mask = active[dst]
-            if mask.any():
-                np.minimum.at(partial, src[mask], values[dst[mask]] + offset)
-            np.minimum(best, partial, out=best)
-            local_t[pid] += time.perf_counter() - t0
-            pushed = self.covered[pid][
-                np.isfinite(partial[self.covered[pid]])
-                & (self.master[self.covered[pid]] != pid)]
-            comm += len(pushed) * _VALUE_BYTES
-        stats.comm_bytes += comm
+            pushed = 0
+            if self._num_slots:
+                srcs = self._seg_sources
+                vals = np.where(active[srcs], values[srcs] + offset,
+                                np.inf)
+                partial = np.minimum.reduceat(vals, self._seg_starts)
+                np.minimum.at(best, self._flat_cov, partial)
+            local_t = (time.perf_counter() - t0) * self._work_share
+            if self._num_slots:
+                # Comm accounting outside the timer, as in the reference.
+                pushed = int((np.isfinite(partial)
+                              & self._flat_mirror).sum())
+        else:
+            local_t = np.zeros(self.p, dtype=np.float64)
+            pushed = 0
+            for pid in range(self.p):
+                t0 = time.perf_counter()
+                src, dst = self.local_src[pid], self.local_dst[pid]
+                partial = np.full(n, np.inf, dtype=np.float64)
+                mask = active[src]
+                if mask.any():
+                    np.minimum.at(partial, dst[mask],
+                                  values[src[mask]] + offset)
+                mask = active[dst]
+                if mask.any():
+                    np.minimum.at(partial, src[mask],
+                                  values[dst[mask]] + offset)
+                np.minimum(best, partial, out=best)
+                local_t[pid] += time.perf_counter() - t0
+                pushed += len(self.covered[pid][
+                    np.isfinite(partial[self.covered[pid]])
+                    & (self.master[self.covered[pid]] != pid)])
+        stats.comm_bytes += pushed * _VALUE_BYTES
         stats.local_seconds += local_t
         stats.elapsed_seconds += float(local_t.max()) if self.p else 0.0
         return best

@@ -4,6 +4,8 @@
   table/series formatting.
 * :mod:`repro.bench.experiments` — one driver per paper figure/table
   (see DESIGN.md §4 for the experiment index).
+* :mod:`repro.bench.perf` — kernel microbenchmarks (vectorized vs
+  reference) behind ``repro bench perf`` / ``BENCH_kernels.json``.
 """
 
 from repro.bench.harness import (
@@ -18,8 +20,10 @@ from repro.bench.harness import (
     run_method,
 )
 from repro.bench import experiments
+from repro.bench.perf import run_perf
 
 __all__ = [
+    "run_perf",
     "run_method",
     "mem_score",
     "method_memory_bytes",

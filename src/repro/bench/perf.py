@@ -1,0 +1,290 @@
+"""Kernel microbenchmarks — the perf trajectory behind ``BENCH_kernels.json``.
+
+Every hot kernel in the partitioning path ships in two
+implementations: the vectorized flat-array kernel that production code
+runs, and the per-slot ``kernel="python"`` reference it is pinned
+against.  This module times both on RMAT graphs at several scales and
+emits one JSON row per (kernel, scale), so each PR can check the
+speedups it claims and future PRs can track regressions:
+
+* ``dne_one_hop`` / ``dne_two_hop`` — the allocation phases of
+  Distributed NE (Algorithms 2–3), driven by a synthetic selection
+  schedule over a single allocation process that owns the whole graph;
+* ``ne_expand`` — a full sequential-NE partition (the
+  ``ExpansionState.expand_vertex`` path shared with SNE);
+* ``gather_sum`` / ``gather_min`` — the GAS engine's gather
+  primitives (vectorized ``bincount``/``reduceat`` over compacted
+  local ids vs the ``np.add.at``/``np.minimum.at`` reference);
+* ``all_gather_sum`` — the simulated cluster's collective accounting
+  (bulk updates vs the O(P²) per-message loop);
+* ``csr_build`` — CSR construction (counting-sort bucketing vs the
+  full 2m argsort).
+
+Run via ``repro bench perf`` (see ``--help`` for scales/partitions) or
+programmatically through :func:`run_perf`.  The smoke test
+``benchmarks/perf/test_perf_smoke.py`` keeps a tiny configuration in
+tier-1 so kernel regressions fail fast.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.apps.engine import AppRunStats, DistributedGraphEngine
+from repro.cluster.runtime import Process, SimulatedCluster, _same_machine
+from repro.core.allocation import TAG_SELECT, AllocationProcess
+from repro.core.hash2d import Hash2DPlacement
+from repro.graph.csr import CSRGraph, symmetrised_csr
+from repro.graph.edgelist import canonical_edges
+from repro.graph.generators import rmat_edges
+from repro.partitioners import PARTITIONER_REGISTRY
+from repro.partitioners.ne import NEPartitioner
+
+__all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
+           "bench_ne_expand", "bench_engine_gathers",
+           "bench_all_gather_sum", "bench_csr_build"]
+
+#: RMAT edge factor used by every perf graph.
+_EDGE_FACTOR = 8
+
+
+def bench_graph(edge_scale: int, seed: int = 0) -> CSRGraph:
+    """RMAT graph with ~``2**edge_scale`` edges (EF 8, Graph500 skew)."""
+    vertex_scale = max(edge_scale - 3, 4)
+    return CSRGraph(rmat_edges(vertex_scale, _EDGE_FACTOR, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# DNE allocation phases
+# ----------------------------------------------------------------------
+def _selection_schedule(graph: CSRGraph, partitions: int,
+                        batch: int, seed: int = 0) -> list:
+    """Deterministic multi-round ⟨v, p⟩ selection trace.
+
+    Every vertex is selected exactly once, round-robin across
+    partitions in batches — the steady-state shape of Algorithm 4's
+    multi-expansion selections, without the expansion processes in the
+    timed loop.
+    """
+    order = np.random.default_rng(seed).permutation(graph.num_vertices)
+    per_round = batch * partitions
+    rounds = []
+    for start in range(0, len(order), per_round):
+        chunk = order[start:start + per_round]
+        rounds.append([
+            [(int(v), p) for v in chunk[p * batch:(p + 1) * batch]]
+            for p in range(partitions)])
+    return rounds
+
+def bench_allocation_phases(graph: CSRGraph, partitions: int, kernel: str,
+                            batch: int = 64) -> tuple[float, float]:
+    """Cumulative (one-hop, two-hop) seconds over a full selection sweep.
+
+    One allocation process owns every edge; a driver replays the same
+    deterministic selection schedule for either kernel and times the
+    two allocation phases separately.
+    """
+    cluster = SimulatedCluster()
+    placement = Hash2DPlacement(1, seed=0)
+    alloc = cluster.add_process(AllocationProcess(
+        0, graph, np.arange(graph.num_edges), placement, kernel=kernel))
+    driver = cluster.add_process(Process(("expansion", 0)))
+    for p in range(1, partitions):
+        cluster.add_process(Process(("expansion", p)))
+
+    one_hop = two_hop = 0.0
+    for round_payloads in _selection_schedule(graph, partitions, batch):
+        for payload in round_payloads:
+            if payload:
+                driver.send(alloc.pid, TAG_SELECT, payload)
+        cluster.barrier()
+        t0 = time.perf_counter()
+        alloc.one_hop_and_sync()
+        one_hop += time.perf_counter() - t0
+        cluster.barrier()
+        t0 = time.perf_counter()
+        alloc.two_hop_and_report()
+        two_hop += time.perf_counter() - t0
+        cluster.barrier()
+        # Drain the expansion mailboxes so delivered payloads don't pile up.
+        for p in range(partitions):
+            cluster._receive(("expansion", p), "boundary")
+            cluster._receive(("expansion", p), "edges")
+    return one_hop, two_hop
+
+
+# ----------------------------------------------------------------------
+# Sequential NE expansion
+# ----------------------------------------------------------------------
+def bench_ne_expand(graph: CSRGraph, partitions: int, kernel: str) -> float:
+    """Seconds for one full sequential-NE partition run."""
+    t0 = time.perf_counter()
+    NEPartitioner(partitions, seed=0, kernel=kernel).partition(graph)
+    return time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# GAS engine gathers
+# ----------------------------------------------------------------------
+def bench_engine_gathers(graph: CSRGraph, partitions: int, kernel: str,
+                         rounds: int = 10) -> tuple[float, float]:
+    """Cumulative (gather_sum, gather_min) seconds over ``rounds``."""
+    part = PARTITIONER_REGISTRY["random"](partitions, seed=0).partition(graph)
+    engine = DistributedGraphEngine(part, seed=0, kernel=kernel)
+    rng = np.random.default_rng(0)
+    values = rng.random(graph.num_vertices)
+    active = rng.random(graph.num_vertices) < 0.5
+    stats = AppRunStats(local_seconds=np.zeros(partitions))
+
+    t_sum = t_min = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        engine.gather_sum(values, stats, weight_by_degree=True)
+        t_sum += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        engine.gather_min(values, stats, active, offset=1.0)
+        t_min += time.perf_counter() - t0
+    return t_sum, t_min
+
+
+# ----------------------------------------------------------------------
+# Cluster collective accounting
+# ----------------------------------------------------------------------
+def _all_gather_sum_reference(cluster: SimulatedCluster, values: dict) -> float:
+    """The pre-vectorization O(P²) per-message accounting loop."""
+    pids = sorted(values, key=repr)
+    for src in pids:
+        for dst in pids:
+            if src == dst:
+                continue
+            nbytes = 0 if _same_machine(src, dst) else 8
+            cluster.stats.stats_for(src).record_send(nbytes)
+            cluster.stats.stats_for(dst).record_receive(nbytes)
+    return sum(values.values())
+
+def bench_all_gather_sum(partitions: int, kernel: str,
+                         rounds: int = 200) -> float:
+    """Cumulative seconds for ``rounds`` all-gather accounting passes."""
+    cluster = SimulatedCluster()
+    procs = [cluster.add_process(Process(("expansion", k)))
+             for k in range(partitions)]
+    values = {p.pid: 1.0 for p in procs}
+    fn = (cluster.all_gather_sum if kernel == "vectorized"
+          else lambda v: _all_gather_sum_reference(cluster, v))
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn(values)
+    return time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# CSR construction
+# ----------------------------------------------------------------------
+def _csr_build_reference(edges: np.ndarray, n: int):
+    """The pre-vectorization build: full argsort over the 2m-entry
+    symmetrised adjacency."""
+    m = len(edges)
+    src = np.concatenate([edges[:, 0], edges[:, 1]])
+    dst = np.concatenate([edges[:, 1], edges[:, 0]])
+    eid = np.concatenate([np.arange(m), np.arange(m)])
+    order = np.argsort(src, kind="stable")
+    src, dst, eid = src[order], dst[order], eid[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    counts = np.bincount(src, minlength=n)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst.astype(np.int64), eid.astype(np.int64)
+
+def bench_csr_build(edges: np.ndarray, kernel: str, rounds: int = 3) -> float:
+    """Cumulative seconds to symmetrise the CSR adjacency ``rounds`` times."""
+    edges = canonical_edges(edges)
+    n = int(edges.max()) + 1 if len(edges) else 0
+    t = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        if kernel == "vectorized":
+            symmetrised_csr(edges, n)
+        else:
+            _csr_build_reference(edges, n)
+        t += time.perf_counter() - t0
+    return t
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _row(name: str, edge_scale: int, graph: CSRGraph | None,
+         t_python: float, t_vectorized: float) -> dict:
+    return {
+        "kernel": name,
+        "edge_scale": edge_scale,
+        "vertices": graph.num_vertices if graph is not None else None,
+        "edges": graph.num_edges if graph is not None else None,
+        "python_seconds": round(t_python, 6),
+        "vectorized_seconds": round(t_vectorized, 6),
+        "speedup": round(t_python / t_vectorized, 2)
+        if t_vectorized > 0 else float("inf"),
+    }
+
+
+def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
+             engine_partitions: int = 256,
+             out: str | None = "BENCH_kernels.json",
+             seed: int = 0) -> dict:
+    """Time every kernel pair at each scale; optionally write JSON.
+
+    ``partitions`` drives the DNE/NE partitioning benches;
+    ``engine_partitions`` drives the GAS gather benches, defaulting to
+    the paper's largest cluster scale (§7.4 runs 256 machines), where
+    the reference kernel's O(n · P) dense temporaries dominate.
+
+    Returns the result document: ``{"meta": ..., "kernels": [rows]}``
+    with one row per (kernel, scale) holding both kernels' seconds and
+    the speedup ratio.
+    """
+    rows = []
+    for edge_scale in edge_scales:
+        graph = bench_graph(edge_scale, seed=seed)
+
+        py = bench_allocation_phases(graph, partitions, "python")
+        vec = bench_allocation_phases(graph, partitions, "vectorized")
+        rows.append(_row("dne_one_hop", edge_scale, graph, py[0], vec[0]))
+        rows.append(_row("dne_two_hop", edge_scale, graph, py[1], vec[1]))
+
+        rows.append(_row("ne_expand", edge_scale, graph,
+                         bench_ne_expand(graph, partitions, "python"),
+                         bench_ne_expand(graph, partitions, "vectorized")))
+
+        py = bench_engine_gathers(graph, engine_partitions, "python")
+        vec = bench_engine_gathers(graph, engine_partitions, "vectorized")
+        rows.append(_row("gather_sum", edge_scale, graph, py[0], vec[0]))
+        rows.append(_row("gather_min", edge_scale, graph, py[1], vec[1]))
+
+        rows.append(_row("csr_build", edge_scale, graph,
+                         bench_csr_build(graph.edges, "python"),
+                         bench_csr_build(graph.edges, "vectorized")))
+
+    rows.append(_row("all_gather_sum", 0, None,
+                     bench_all_gather_sum(partitions, "python"),
+                     bench_all_gather_sum(partitions, "vectorized")))
+
+    doc = {
+        "meta": {
+            "generated_by": "repro bench perf",
+            "edge_scales": list(edge_scales),
+            "edge_factor": _EDGE_FACTOR,
+            "partitions": partitions,
+            "engine_partitions": engine_partitions,
+            "seed": seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "kernels": rows,
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+    return doc

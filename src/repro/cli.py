@@ -12,6 +12,7 @@ Examples::
     python -m repro partition --edges my_graph.tsv --method ne -p 8
     python -m repro inspect pokec.part.npz
     python -m repro experiment fig6 --dataset pokec
+    python -m repro bench perf --scales 12 14 17 --out BENCH_kernels.json
 
 The CLI is a thin shell over the library; everything it does is also
 available programmatically (see README quickstart).
@@ -81,6 +82,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     p_exp.add_argument("--dataset", default="pokec")
     p_exp.add_argument("--partitions", "-p", type=int, default=16)
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmarks of the library itself")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_perf = bench_sub.add_parser(
+        "perf", help="time vectorized vs reference kernels on RMAT graphs")
+    p_perf.add_argument("--scales", type=int, nargs="+", default=[12, 14, 17],
+                        metavar="LOG2_EDGES",
+                        help="log2 target edge counts (default: 12 14 17)")
+    p_perf.add_argument("--partitions", "-p", type=int, default=8)
+    p_perf.add_argument("--engine-partitions", type=int, default=256,
+                        help="cluster size for the GAS gather benches "
+                             "(default 256, the paper's §7.4 maximum)")
+    p_perf.add_argument("--seed", type=int, default=0)
+    p_perf.add_argument("--out", default="BENCH_kernels.json",
+                        help="JSON output path ('-' to skip writing)")
 
     p_app = sub.add_parser(
         "app", help="run a graph application on a saved partition")
@@ -155,6 +172,24 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.perf import run_perf
+    out = None if args.out == "-" else args.out
+    doc = run_perf(edge_scales=tuple(args.scales),
+                   partitions=args.partitions,
+                   engine_partitions=args.engine_partitions,
+                   out=out, seed=args.seed)
+    headers = ["kernel", "edge_scale", "edges",
+               "python_seconds", "vectorized_seconds", "speedup"]
+    print(format_table(
+        headers,
+        [[row.get(h, "") for h in headers] for row in doc["kernels"]],
+        title="kernel microbenchmarks (vectorized vs python reference)"))
+    if out:
+        print(f"written to {out}")
+    return 0
+
+
 def _cmd_app(args) -> int:
     from repro.apps import pagerank, sssp, wcc
     part = load_partition(args.path)
@@ -183,6 +218,7 @@ def main(argv=None) -> int:
         "partition": _cmd_partition,
         "inspect": _cmd_inspect,
         "experiment": _cmd_experiment,
+        "bench": _cmd_bench,
         "app": _cmd_app,
     }
     try:

@@ -74,6 +74,21 @@ class ProcessStats:
         self.messages_received += 1
         self.bytes_received += nbytes
 
+    def record_send_bulk(self, count: int, nbytes: int) -> None:
+        """Account ``count`` sends totalling ``nbytes`` in one update.
+
+        Collectives with a regular wire pattern (all-gather) know their
+        whole fan-out up front; one bulk update replaces ``count``
+        per-message calls without changing any totals.
+        """
+        self.messages_sent += count
+        self.bytes_sent += nbytes
+
+    def record_receive_bulk(self, count: int, nbytes: int) -> None:
+        """Account ``count`` receives totalling ``nbytes`` in one update."""
+        self.messages_received += count
+        self.bytes_received += nbytes
+
     def set_resident(self, name: str, nbytes: int) -> None:
         """Register (or update) a named resident structure's size.
 

@@ -22,6 +22,31 @@ it has seen.  Per outer iteration it runs the four phases of
 
 Message tags: ``select`` (expansion→alloc), ``sync`` (alloc→alloc),
 ``boundary`` and ``edges`` (alloc→expansion).
+
+Kernel architecture
+-------------------
+The paper's §4 data-structure argument is that everything the
+allocation phases touch lives in *flat arrays* (CSR ``indptr`` /
+``indices`` parallels), never in pointer-chasing maps — that is where
+the order-of-magnitude speed and memory win over ParMETIS-style code
+comes from.  This module mirrors the argument with two interchangeable
+kernels:
+
+* ``kernel="vectorized"`` (default) — replica membership is a
+  ``(num_local_vertices, |P|)`` boolean matrix, one-hop allocation is a
+  batched gather of whole adjacency slices via ``indptr``
+  fancy-indexing followed by first-occurrence dedup, and
+  ``rest_degree`` / per-partition load updates are ``np.bincount``
+  scatter-adds.  Per iteration the work is O(slots touched), with no
+  per-slot Python dispatch.
+* ``kernel="python"`` — the slow reference: dict-of-set replica state
+  walked one adjacency slot at a time, kept for golden equivalence
+  tests (``tests/test_kernel_equivalence.py`` pins vectorized ==
+  reference bit-for-bit) and as executable documentation of
+  Algorithms 2–3.
+
+Both kernels produce identical ``alloc`` arrays, identical message
+payloads (content *and* order), and identical ``ops_*`` counters.
 """
 
 from __future__ import annotations
@@ -31,7 +56,8 @@ from collections import defaultdict
 import numpy as np
 
 from repro.cluster.runtime import Process
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, adjacency_slots, first_occurrence
+from repro.kernels import validate_kernel
 
 __all__ = ["AllocationProcess", "TAG_SELECT", "TAG_SYNC", "TAG_BOUNDARY",
            "TAG_EDGES"]
@@ -46,12 +72,16 @@ class AllocationProcess(Process):
     """One allocation process holding a 2D-hash slice of the graph."""
 
     def __init__(self, machine: int, graph: CSRGraph, edge_ids: np.ndarray,
-                 placement, two_hop: bool = True):
+                 placement, two_hop: bool = True,
+                 kernel: str = "vectorized"):
         super().__init__(("alloc", machine))
+        validate_kernel(kernel)
         self.machine = machine
         self.graph = graph
         self.placement = placement
         self.two_hop = two_hop
+        self.kernel = kernel
+        self.num_partitions = placement.num_processes
 
         # Local CSR over the owned edges.  ``self.eids`` maps local edge
         # index -> global canonical edge id.  Local arrays use 32-bit
@@ -69,30 +99,35 @@ class AllocationProcess(Process):
         self._vindex = {int(v): i for i, v in enumerate(self.local_vertices)}
 
         # Adjacency over local edges: for each local vertex, the list of
-        # (local edge idx, other endpoint's local vertex idx).
+        # (local edge idx, other endpoint's local vertex idx), ordered
+        # by local edge index within each row.  Built with one
+        # counting-sort-style pass (lexsort keyed by vertex, then local
+        # edge id) instead of a per-edge Python loop.
         nv = len(self.local_vertices)
         counts = np.bincount(self._lsrc, minlength=nv) + np.bincount(
             self._ldst, minlength=nv)
         self._adj_ptr = np.zeros(nv + 1, dtype=np.int64)
         np.cumsum(counts, out=self._adj_ptr[1:])
-        self._adj_eid = np.empty(self._adj_ptr[-1], dtype=np.int32)
-        self._adj_other = np.empty(self._adj_ptr[-1], dtype=np.int32)
-        cursor = self._adj_ptr[:-1].copy()
-        for le in range(k):
-            a, b = self._lsrc[le], self._ldst[le]
-            self._adj_eid[cursor[a]] = le
-            self._adj_other[cursor[a]] = b
-            cursor[a] += 1
-            self._adj_eid[cursor[b]] = le
-            self._adj_other[cursor[b]] = a
-            cursor[b] += 1
+        ids = np.arange(k, dtype=np.int32)
+        vert = np.concatenate([self._lsrc, self._ldst])
+        order = np.lexsort((np.concatenate([ids, ids]), vert))
+        self._adj_eid = np.concatenate([ids, ids])[order]
+        self._adj_other = np.concatenate([self._ldst, self._lsrc])[order]
 
         # Mutable allocation state.
         self.alloc = np.full(k, -1, dtype=np.int32)     # partition per local edge
         self.rest_degree = counts.astype(np.int32).copy()  # unallocated local degree
-        self.vertex_parts: dict[int, set] = defaultdict(set)  # local vid -> {p}
-        self.edges_per_partition = defaultdict(int)     # local view of |E_p|
         self.unallocated = k
+        #: local view of |E_p| — flat array in both kernels (exact ints)
+        self._part_loads = np.zeros(self.num_partitions, dtype=np.int64)
+        if kernel == "python":
+            #: reference replica state: local vid -> set of partitions
+            self._parts: dict[int, set] | None = defaultdict(set)
+            self._member = None
+        else:
+            self._parts = None
+            #: vectorized replica state: (local vid, partition) matrix
+            self._member = np.zeros((nv, self.num_partitions), dtype=bool)
 
         # Operation counters for the Theorem 3 cost model: adjacency
         # slots touched in each allocation phase.
@@ -102,6 +137,57 @@ class AllocationProcess(Process):
         self.report_memory()
 
     # ------------------------------------------------------------------
+    # Replica-state views (kernel-independent API)
+    # ------------------------------------------------------------------
+    @property
+    def vertex_parts(self) -> dict:
+        """Replica state as ``{local vid: set of partition ids}``.
+
+        Always a materialised *snapshot* (under both kernels): mutating
+        the returned dict never changes allocation state.  Kernels
+        update their own private state (``_parts`` / ``_member``).
+        """
+        out: dict[int, set] = defaultdict(set)
+        if self._parts is not None:
+            for lv, ps in self._parts.items():
+                out[lv] = set(ps)
+            return out
+        lv_idx, p_idx = np.nonzero(self._member)
+        for lv, p in zip(lv_idx.tolist(), p_idx.tolist()):
+            out[lv].add(p)
+        return out
+
+    @property
+    def edges_per_partition(self) -> dict:
+        """Local per-partition edge counts (dict view of the flat array)."""
+        return {p: int(c) for p, c in enumerate(self._part_loads.tolist()) if c}
+
+    def _ensure_partition_capacity(self, p: int) -> None:
+        """Grow the flat per-partition state to cover partition id ``p``.
+
+        In a DNE deployment partitions and allocation processes are
+        1:1, so the initial ``num_processes`` width already covers every
+        id; unit harnesses may drive more partitions than processes.
+        """
+        width = len(self._part_loads)
+        if p < width:
+            return
+        grow = p + 1 - width
+        self._part_loads = np.concatenate(
+            [self._part_loads, np.zeros(grow, dtype=np.int64)])
+        if self._member is not None:
+            self._member = np.concatenate(
+                [self._member,
+                 np.zeros((self._member.shape[0], grow), dtype=bool)],
+                axis=1)
+
+    def _replica_entries(self) -> int:
+        """Number of real (vertex, partition) replica pairs held locally."""
+        if self._parts is not None:
+            return sum(len(s) for s in self._parts.values())
+        return int(self._member.sum())
+
+    # ------------------------------------------------------------------
     # Memory model (Figure 9): CSR arrays + allocation state + replica sets.
     # ------------------------------------------------------------------
     def report_memory(self) -> None:
@@ -109,8 +195,11 @@ class AllocationProcess(Process):
                + self._adj_ptr.nbytes + self._adj_eid.nbytes
                + self._adj_other.nbytes + self.local_vertices.nbytes)
         state = self.alloc.nbytes + self.rest_degree.nbytes
-        # Replica metadata: one byte-scale entry per (vertex, partition).
-        replica = sum(len(s) for s in self.vertex_parts.values()) * 8
+        # Replica metadata: one byte-scale entry per real (vertex,
+        # partition) pair.  Probed-but-absent vertices contribute
+        # nothing (the reference kernel uses non-mutating lookups, so
+        # no phantom entries exist to begin with).
+        replica = self._replica_entries() * 8
         self.set_resident("graph_csr", csr)
         self.set_resident("alloc_state", state)
         self.set_resident("replica_sets", replica)
@@ -146,13 +235,25 @@ class AllocationProcess(Process):
         self._ep_new: dict[int, list[int]] = defaultdict(list)  # p -> global eids
 
         sync_out: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        if pairs:
+            self._ensure_partition_capacity(max(p for p, _ in pairs))
+        if self.kernel == "python":
+            self._one_hop_python(pairs, sync_out)
+        else:
+            self._one_hop_vectorized(pairs, sync_out)
+
+        for proc, payload in sorted(sync_out.items()):
+            self.send(("alloc", proc), TAG_SYNC, payload)
+
+    def _one_hop_python(self, pairs, sync_out) -> None:
+        """Reference one-hop: one adjacency slot at a time."""
         for p, v in pairs:
             lv = self._vindex.get(v)
             if lv is None:
                 continue  # replica candidate process holding no v-edges
             # The selected vertex itself joins V(E_p) on every process
             # that received the multicast; no sync needed for it.
-            self.vertex_parts[lv].add(p)
+            self._parts[lv].add(p)
             self.ops_one_hop += int(self._adj_ptr[lv + 1]
                                     - self._adj_ptr[lv])
             for slot in range(self._adj_ptr[lv], self._adj_ptr[lv + 1]):
@@ -162,16 +263,118 @@ class AllocationProcess(Process):
                 self._allocate_local(le, p)
                 self._ep_new[p].append(int(self.eids[le]))
                 lu = int(self._adj_other[slot])
-                if p not in self.vertex_parts[lu]:
-                    self.vertex_parts[lu].add(p)
+                # Non-mutating membership probe: a defaultdict lookup
+                # here would materialise an empty set per probed vertex.
+                parts_lu = self._parts.get(lu)
+                if parts_lu is None or p not in parts_lu:
+                    self._parts[lu].add(p)
                     u = int(self.local_vertices[lu])
                     self._bp_new.append((u, p))
                     for proc in self.placement.replica_processes(u):
                         if proc != self.machine:
                             sync_out[proc].append((u, p))
 
-        for proc, payload in sorted(sync_out.items()):
-            self.send(("alloc", proc), TAG_SYNC, payload)
+    def _one_hop_vectorized(self, pairs, sync_out) -> None:
+        """Flat-array one-hop: per partition, gather every selected
+        vertex's adjacency slice at once, allocate the first-occurrence
+        free edges, and batch the boundary/sync bookkeeping.
+
+        Equivalence with the sequential reference (which walks pairs in
+        (p, v) order):
+
+        * within one partition group every free edge incident to a
+          selected vertex ends up allocated to p regardless of walk
+          order, so keeping the *first-occurrence* slot per edge
+          reproduces the reference's allocation set and its append
+          order;
+        * a boundary pair (x, p) is emitted exactly when x's first
+          "other endpoint" event fires while p is not yet in x's
+          replica set.  Selected vertices only receive such events from
+          *smaller* selected vertices (a larger one's shared edge is
+          already taken), i.e. always before their own membership
+          update — so probing the membership matrix before applying
+          this group's updates is exact.
+        """
+        if not pairs:
+            return
+        parr = np.fromiter((pq[0] for pq in pairs), dtype=np.int64,
+                           count=len(pairs))
+        varr = np.fromiter((pq[1] for pq in pairs), dtype=np.int64,
+                           count=len(pairs))
+        # Map global -> local vertex ids; drop vertices not held here.
+        pos = np.searchsorted(self.local_vertices, varr)
+        nv = len(self.local_vertices)
+        pos_c = np.minimum(pos, max(nv - 1, 0))
+        present = (pos < nv) & (self.local_vertices[pos_c] == varr) \
+            if nv else np.zeros(len(varr), dtype=bool)
+        if not present.any():
+            return
+        parr, lvs_all = parr[present], pos[present]
+        # Partition groups are contiguous (pairs sorted by p first) and
+        # lvs ascend within each group (local ids are order-isomorphic
+        # to global ids).  Groups run in ascending p: first-writer-wins
+        # across partitions, as in the reference.
+        group_starts = np.flatnonzero(np.concatenate(
+            ([True], parr[1:] != parr[:-1])))
+        group_ends = np.concatenate((group_starts[1:], [len(parr)]))
+        for gs, ge in zip(group_starts.tolist(), group_ends.tolist()):
+            self._one_hop_group(int(parr[gs]), lvs_all[gs:ge], sync_out)
+
+    def _one_hop_group(self, p: int, lvs: np.ndarray, sync_out) -> None:
+        """One-hop allocation of every selected vertex of one partition."""
+        # Concatenated adjacency slices of all selected vertices, in
+        # (selected vertex, slot) order — the reference's walk order.
+        slot_idx, _ = adjacency_slots(self._adj_ptr, lvs)
+        total = len(slot_idx)
+        self.ops_one_hop += total
+        col = self._member[:, p]
+        if total == 0:
+            col[lvs] = True
+            return
+        les = self._adj_eid[slot_idx]
+        others = self._adj_other[slot_idx]
+        free = self.alloc[les] == -1
+        les_f = les[free]
+        if len(les_f) == 0:
+            col[lvs] = True
+            return
+        # First-occurrence slot per free edge = the slot that allocates
+        # it in the sequential walk (a second occurrence means both
+        # endpoints were selected; the edge is already taken by then).
+        occ = first_occurrence(les_f)
+        new_les = les_f[occ]                       # allocation order
+        ev_targets = others[free][occ]             # other endpoint per event
+
+        self.alloc[new_les] = p
+        self._ep_new[p].extend(self.eids[new_les].tolist())
+        dec = (np.bincount(self._lsrc[new_les], minlength=len(col))
+               + np.bincount(self._ldst[new_les], minlength=len(col)))
+        self.rest_degree -= dec.astype(self.rest_degree.dtype)
+        self._part_loads[p] += len(new_les)
+        self.unallocated -= len(new_les)
+
+        # Boundary events: first event per target vertex, and only for
+        # targets not already replicated on p (pre-group state — see
+        # docstring for why selected vertices cannot race this probe).
+        unknown = ~col[ev_targets]
+        cand = ev_targets[unknown]
+        new_targets = cand[first_occurrence(cand)] if len(cand) else cand
+        col[lvs] = True
+        col[ev_targets] = True
+
+        if len(new_targets):
+            us = self.local_vertices[new_targets]
+            self._bp_new.extend((int(u), p) for u in us)
+            # Batched sync fan-out: one replica-membership mask per
+            # destination process instead of per-vertex set algebra.
+            masks = self.placement.replica_membership(us)
+            for proc in range(self.num_partitions):
+                if proc == self.machine:
+                    continue
+                hit = masks[:, proc]
+                if hit.any():
+                    sync_out[proc].extend(
+                        (int(u), p) for u in us[hit])
 
     # ------------------------------------------------------------------
     # Phase 2(recv)+3+4: merge syncs, two-hop allocation, local Drest.
@@ -184,21 +387,45 @@ class AllocationProcess(Process):
                 lv = self._vindex.get(int(v))
                 if lv is None:
                     continue
-                if p not in self.vertex_parts[lv]:
-                    self.vertex_parts[lv].add(p)
+                self._ensure_partition_capacity(int(p))
+                if self._parts is not None:
+                    parts_lv = self._parts.get(lv)
+                    if parts_lv is None or p not in parts_lv:
+                        self._parts[lv].add(p)
+                        merged.append((int(v), int(p)))
+                elif not self._member[lv, p]:
+                    self._member[lv, p] = True
                     merged.append((int(v), int(p)))
 
         if self.two_hop:
-            self._allocate_two_hop(merged)
+            if self.kernel == "python":
+                self._allocate_two_hop(merged)
+            else:
+                self._allocate_two_hop_vectorized(merged)
 
         # Local Drest for each new boundary pair, reported to the
         # expansion process of that partition.
         boundary_out: dict[int, list[tuple[int, int]]] = defaultdict(list)
-        for v, p in sorted(set(merged)):
-            lv = self._vindex[v]
-            drest = int(self.rest_degree[lv])
-            if drest > 0:
-                boundary_out[p].append((v, drest))
+        if self.kernel == "python":
+            for v, p in sorted(set(merged)):
+                lv = self._vindex[v]
+                drest = int(self.rest_degree[lv])
+                if drest > 0:
+                    boundary_out[p].append((v, drest))
+        elif merged:
+            # Batched form of the same report: unique (v, p) rows come
+            # out of np.unique lexicographically sorted — the exact
+            # iteration order of the reference loop — so per-partition
+            # payloads keep v ascending.
+            arr = np.unique(np.array(merged, dtype=np.int64), axis=0)
+            lvs = np.searchsorted(self.local_vertices, arr[:, 0])
+            drest = self.rest_degree[lvs]
+            keep = drest > 0
+            vs, ps, ds = arr[keep, 0], arr[keep, 1], drest[keep]
+            for p in np.unique(ps).tolist():
+                sel = ps == p
+                boundary_out[p] = list(zip(vs[sel].tolist(),
+                                           ds[sel].tolist()))
         for p, payload in sorted(boundary_out.items()):
             self.send(("expansion", p), TAG_BOUNDARY, payload)
 
@@ -210,13 +437,15 @@ class AllocationProcess(Process):
         self.report_memory()
 
     def _allocate_two_hop(self, merged: list[tuple[int, int]]) -> None:
-        """Condition 5: allocate local edges whose endpoints share parts."""
+        """Condition 5 (reference): allocate local edges whose endpoints
+        share partitions, one adjacency slot at a time."""
         seen: set[int] = set()
         for v, _ in merged:
             lv = self._vindex[v]
             if lv in seen:
                 continue
             seen.add(lv)
+            parts_lv = self._parts.get(lv) or set()
             self.ops_two_hop += int(self._adj_ptr[lv + 1]
                                     - self._adj_ptr[lv])
             for slot in range(self._adj_ptr[lv], self._adj_ptr[lv + 1]):
@@ -224,17 +453,104 @@ class AllocationProcess(Process):
                 if self.alloc[le] != -1:
                     continue
                 lw = int(self._adj_other[slot])
-                shared = self.vertex_parts[lv] & self.vertex_parts[lw]
+                # Non-mutating probe: the defaultdict lookup used to
+                # materialise an empty set for every neighbour checked
+                # here, bloating the replica dict with phantom entries.
+                parts_lw = self._parts.get(lw)
+                if not parts_lw:
+                    continue
+                shared = parts_lv & parts_lw
                 if not shared:
                     continue
                 pnew = min(shared,
-                           key=lambda q: (self.edges_per_partition[q], q))
+                           key=lambda q: (self._part_loads[q], q))
                 self._allocate_local(le, pnew)
                 self._ep_new[pnew].append(int(self.eids[le]))
+
+    def _allocate_two_hop_vectorized(self, merged) -> None:
+        """Condition 5, flat-array form.
+
+        Gathers the adjacency slices of every merged vertex in one
+        batch, computes shared-partition masks as boolean-matrix row
+        ANDs, and resolves the (rare) multi-shared edges sequentially so
+        the running least-loaded tie-break matches the reference walk
+        exactly; single-shared edges — the overwhelmingly common case —
+        are assigned in bulk.
+        """
+        if not merged:
+            return
+        vs = np.fromiter((m[0] for m in merged), dtype=np.int64,
+                         count=len(merged))
+        lvs_all = np.searchsorted(self.local_vertices, vs)
+        # Dedup vertices, keeping first-occurrence order (the walk order).
+        lvs = lvs_all[first_occurrence(lvs_all)]
+
+        slot_idx, counts = adjacency_slots(self._adj_ptr, lvs)
+        self.ops_two_hop += len(slot_idx)
+        if len(slot_idx) == 0:
+            return
+        les = self._adj_eid[slot_idx]
+        lws = self._adj_other[slot_idx]
+        lv_rep = np.repeat(lvs, counts)
+
+        free = self.alloc[les] == -1
+        if not free.any():
+            return
+        shared = self._member[lv_rep[free]] & self._member[lws[free]]
+        has = shared.any(axis=1)
+        if not has.any():
+            return
+        les_f = les[free][has]
+        shared_f = shared[has]
+        # First visit allocates; later visits (other endpoint also
+        # merged) see the edge taken.
+        occ = first_occurrence(les_f)
+        cand_les = les_f[occ]
+        cand_shared = shared_f[occ]
+
+        nshared = cand_shared.sum(axis=1)
+        tgt = np.where(nshared == 1, cand_shared.argmax(axis=1), -1)
+        multi = np.flatnonzero(nshared > 1)
+        loads = self._part_loads
+        if len(multi):
+            # Replay the least-loaded tie-break in walk order: bump the
+            # running loads for each single-shared edge passed, pick
+            # min (load, id) for each contested one.  Plain-int
+            # bookkeeping — per-edge numpy dispatch costs more than the
+            # whole replay.
+            rows, cols = np.nonzero(cand_shared[multi])
+            row_starts = np.searchsorted(rows, np.arange(len(multi) + 1))
+            cols_l = cols.tolist()
+            loads_l = loads.tolist()
+            tgt_l = tgt.tolist()
+            prev = 0
+            for j, i in enumerate(multi.tolist()):
+                for t in tgt_l[prev:i]:
+                    loads_l[t] += 1
+                qs = cols_l[row_starts[j]:row_starts[j + 1]]
+                q = min(qs, key=lambda x: (loads_l[x], x))
+                tgt_l[i] = q
+                loads_l[q] += 1
+                prev = i + 1
+            for t in tgt_l[prev:]:
+                loads_l[t] += 1
+            tgt = np.asarray(tgt_l, dtype=np.int64)
+            loads[:] = loads_l
+        elif len(tgt):
+            loads += np.bincount(tgt, minlength=len(loads))
+
+        self.alloc[cand_les] = tgt.astype(self.alloc.dtype)
+        dec = (np.bincount(self._lsrc[cand_les], minlength=len(self._member))
+               + np.bincount(self._ldst[cand_les], minlength=len(self._member)))
+        self.rest_degree -= dec.astype(self.rest_degree.dtype)
+        self.unallocated -= len(cand_les)
+        geids = self.eids[cand_les]
+        for p in np.unique(tgt).tolist():
+            self._ep_new[p].extend(geids[tgt == p].tolist())
 
     def _allocate_local(self, le: int, p: int) -> None:
         self.alloc[le] = p
         self.rest_degree[self._lsrc[le]] -= 1
         self.rest_degree[self._ldst[le]] -= 1
-        self.edges_per_partition[p] += 1
+        self._part_loads[p] += 1
         self.unallocated -= 1

@@ -73,6 +73,25 @@ class Hash2DPlacement:
         """Size of the replica candidate set (``rows + cols - 1``)."""
         return self.rows + self.cols - 1
 
+    def replica_membership(self, vs: np.ndarray) -> np.ndarray:
+        """Batched replica sets: ``(len(vs), num_processes)`` boolean.
+
+        ``out[i, q]`` is True iff process ``q`` is a replica candidate
+        of ``vs[i]`` — the vectorised form of
+        :meth:`replica_processes`, used by the allocation kernels to
+        fan out sync messages without per-vertex set construction.
+        """
+        vs = np.asarray(vs, dtype=np.int64)
+        r = (splitmix64(vs, seed=self.seed)
+             % np.uint64(self.rows)).astype(np.int64)
+        c = (splitmix64(vs, seed=self.seed + 1)
+             % np.uint64(self.cols)).astype(np.int64)
+        procs = np.arange(self.num_processes, dtype=np.int64)
+        proc_row = procs // self.cols
+        proc_col = procs % self.cols
+        return (r[:, None] == proc_row[None, :]) | \
+               (c[:, None] == proc_col[None, :])
+
 
 class Hash1DPlacement:
     """Uniform 1D scatter — the ablation alternative to the grid.
@@ -97,3 +116,7 @@ class Hash1DPlacement:
 
     def replica_count(self, v: int) -> int:
         return self.num_processes
+
+    def replica_membership(self, vs: np.ndarray) -> np.ndarray:
+        """Every process is a candidate for every vertex (1D scatter)."""
+        return np.ones((len(vs), self.num_processes), dtype=bool)

@@ -12,6 +12,15 @@ For an undirected graph each edge ``{u, v}`` appears twice in the
 adjacency (once per endpoint); ``edge_ids`` maps each adjacency slot
 back to the canonical edge index so per-edge state (e.g. "already
 allocated") can live in one flat array.
+
+Adjacency rows are sorted by neighbour id, which makes ``has_edge`` a
+``np.searchsorted`` probe and keeps gather kernels cache-friendly.  The
+build exploits the lexicographic order of canonical edges: the forward
+half (``u -> v``, ``u < v``) is already grouped by ``u`` with ``v``
+ascending, so only the backward half needs ordering — a stable integer
+argsort (NumPy's radix counting sort) on the second endpoint — and the
+two halves are scattered straight into their row segments.  No
+comparison sort over the full ``2m`` symmetrised array is performed.
 """
 
 from __future__ import annotations
@@ -20,7 +29,73 @@ import numpy as np
 
 from repro.graph.edgelist import canonical_edges
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "adjacency_slots", "first_occurrence",
+           "symmetrised_csr"]
+
+
+def first_occurrence(values: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct value, in
+    ascending position order — exactly the slots a sequential walk over
+    ``values`` would act on (later duplicates see the work already
+    done).  Shared by the vectorized kernels' order-preserving dedup.
+    """
+    _, first = np.unique(values, return_index=True)
+    return np.sort(first)
+
+
+def adjacency_slots(indptr: np.ndarray, rows: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the index ranges ``[indptr[r], indptr[r+1])`` of the
+    given rows, in row order — the batched form of a per-row slice walk.
+
+    Returns ``(slot_idx, counts)``: ``slot_idx`` indexes the flat
+    adjacency arrays in (row, slot) order, ``counts`` is the per-row
+    slice length.  Shared by every vectorized kernel that gathers whole
+    adjacency slices (one-hop/two-hop allocation, NE expansion), so the
+    arithmetic lives in exactly one place.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    bases = np.cumsum(counts) - counts
+    slot_idx = np.arange(int(counts.sum()), dtype=np.int64) + np.repeat(
+        starts - bases, counts)
+    return slot_idx, counts
+
+
+def symmetrised_csr(edges: np.ndarray, n: int
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``(indptr, indices, edge_ids)`` with neighbour-sorted rows.
+
+    ``edges`` must be canonical (``u < v``, lexicographically sorted).
+    Counting-sort bucketing: row x is [neighbours < x] ++
+    [neighbours > x], each ascending.  The backward (v->u) half is
+    grouped by v with u ascending via a stable integer argsort (NumPy's
+    radix counting sort); the forward (u->v) half inherits its order
+    from the lexicographically sorted canonical edges, so both halves
+    scatter directly into place.  No comparison sort over the full
+    ``2m`` symmetrised array is performed.
+    """
+    m = len(edges)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indices = np.empty(2 * m, dtype=np.int64)
+    edge_ids = np.empty(2 * m, dtype=np.int64)
+    if m:
+        u, v = edges[:, 0], edges[:, 1]
+        cf = np.bincount(u, minlength=n)   # forward row sizes
+        cb = np.bincount(v, minlength=n)   # backward row sizes
+        np.cumsum(cf + cb, out=indptr[1:])
+        eid = np.arange(m, dtype=np.int64)
+
+        border = np.argsort(v, kind="stable")
+        vs = v[border]
+        pos_b = indptr[vs] + (np.arange(m) - (np.cumsum(cb) - cb)[vs])
+        indices[pos_b] = u[border]
+        edge_ids[pos_b] = border
+
+        pos_f = indptr[u] + cb[u] + (np.arange(m) - (np.cumsum(cf) - cf)[u])
+        indices[pos_f] = v
+        edge_ids[pos_f] = eid
+    return indptr, indices, edge_ids
 
 
 class CSRGraph:
@@ -64,19 +139,8 @@ class CSRGraph:
         self.n = int(num_vertices)
 
         # Symmetrise: each canonical edge contributes (u->v) and (v->u).
-        src = np.concatenate([edges[:, 0], edges[:, 1]]) if self.m else np.empty(0, np.int64)
-        dst = np.concatenate([edges[:, 1], edges[:, 0]]) if self.m else np.empty(0, np.int64)
-        eid = np.concatenate([np.arange(self.m), np.arange(self.m)]) if self.m else np.empty(0, np.int64)
-
-        order = np.argsort(src, kind="stable")
-        src, dst, eid = src[order], dst[order], eid[order]
-
-        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
-        if self.m:
-            counts = np.bincount(src, minlength=self.n)
-            np.cumsum(counts, out=self.indptr[1:])
-        self.indices = dst.astype(np.int64)
-        self.edge_ids = eid.astype(np.int64)
+        self.indptr, self.indices, self.edge_ids = symmetrised_csr(
+            edges, self.n)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -106,7 +170,7 @@ class CSRGraph:
         return int(self.degrees().max())
 
     def neighbors(self, v: int) -> np.ndarray:
-        """Neighbour ids of ``v`` (view into ``indices``)."""
+        """Neighbour ids of ``v``, ascending (view into ``indices``)."""
         return self.indices[self.indptr[v]:self.indptr[v + 1]]
 
     def incident_edge_ids(self, v: int) -> np.ndarray:
@@ -119,13 +183,18 @@ class CSRGraph:
         return int(u), int(v)
 
     def has_edge(self, u: int, v: int) -> bool:
-        """True if the undirected edge ``{u, v}`` exists."""
+        """True if the undirected edge ``{u, v}`` exists.
+
+        Binary search over the smaller (neighbour-sorted) adjacency row.
+        """
         if not (0 <= u < self.n and 0 <= v < self.n):
             return False
-        # Scan the smaller adjacency list.
+        # Probe the smaller adjacency list.
         if self.degree(u) > self.degree(v):
             u, v = v, u
-        return bool(np.any(self.neighbors(u) == v))
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and int(row[i]) == v
 
     # ------------------------------------------------------------------
     # Derived quantities

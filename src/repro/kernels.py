@@ -1,0 +1,20 @@
+"""Kernel-selection constants shared by every dual-implementation path.
+
+The partitioning/engine hot paths each ship a flat-array NumPy kernel
+(``"vectorized"``, the default) and a per-slot reference kernel
+(``"python"``), pinned bit-identical by the kernel equivalence tests.
+This module is the single home of the valid names so constructors all
+fail fast with the same message.
+"""
+
+from __future__ import annotations
+
+#: valid values for every ``kernel=`` argument
+KERNELS = ("vectorized", "python")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` unchanged, or raise ``ValueError``."""
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}")
+    return kernel

@@ -27,7 +27,8 @@ import heapq
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, adjacency_slots, first_occurrence
+from repro.kernels import validate_kernel
 from repro.partitioners.base import EdgePartition, Partitioner
 
 __all__ = ["NEPartitioner", "ExpansionState"]
@@ -43,22 +44,31 @@ class ExpansionState:
 
     ``allowed`` optionally restricts which edges are visible (SNE's
     bounded buffer); ``None`` means the whole graph.
+
+    ``kernel`` selects the expansion implementation:
+    ``"vectorized"`` (default) allocates whole adjacency slices with
+    masked NumPy gathers; ``"python"`` is the per-slot reference loop.
+    Both produce identical assignments (pinned by the kernel
+    equivalence tests).
     """
 
     def __init__(self, graph: CSRGraph, rng: np.random.Generator,
-                 allowed: np.ndarray | None = None):
+                 allowed: np.ndarray | None = None,
+                 kernel: str = "vectorized"):
+        validate_kernel(kernel)
         self.graph = graph
         self.rng = rng
+        self.kernel = kernel
         self.assignment = np.full(graph.num_edges, -1, dtype=np.int64)
         self.allowed = allowed
         if allowed is None:
             self.rest_degree = graph.degrees().astype(np.int64).copy()
         else:
             self.rest_degree = np.zeros(graph.num_vertices, dtype=np.int64)
-            for eid in np.flatnonzero(allowed):
-                u, v = graph.edges[eid]
-                self.rest_degree[u] += 1
-                self.rest_degree[v] += 1
+            vis = graph.edges[allowed]
+            if len(vis):
+                self.rest_degree += np.bincount(
+                    vis.ravel(), minlength=graph.num_vertices)
         self.unallocated = int(self.rest_degree.sum() // 2)
         # Random-probe order for seed selection.
         self._probe_order = rng.permutation(graph.num_vertices)
@@ -132,6 +142,92 @@ class ExpansionState:
         """Allocate ``v``'s remaining visible edges (one-hop), then any
         two-hop edges closed by the new coverage.  Returns the updated
         allocated count (stops exactly at ``limit``)."""
+        if self.kernel == "vectorized":
+            return self._expand_vertex_vectorized(v, pid, limit, allocated)
+        return self._expand_vertex_python(v, pid, limit, allocated)
+
+    def _expand_vertex_vectorized(self, v: int, pid: int, limit: int,
+                                  allocated: int) -> int:
+        """Flat-array expansion: masked slices of the vertex's incident
+        edge ids, with first-occurrence dedup for the two-hop closure.
+
+        Matches the per-slot reference walk exactly: free slots are
+        taken in adjacency order up to ``limit``; hitting the limit
+        anywhere in the one-hop scan skips the two-hop phase and all
+        boundary pushes (the reference breaks out the same way whether
+        the cap lands mid-row or on the final slot)."""
+        graph = self.graph
+        self._cover(v)
+        s, e = graph.indptr[v], graph.indptr[v + 1]
+        eids = graph.edge_ids[s:e]
+        free = self.assignment[eids] == -1
+        if self.allowed is not None:
+            free &= self.allowed[eids]
+        f = np.flatnonzero(free)
+        room = limit - allocated
+        if len(f) > room:
+            f = f[:room]
+        take = eids[f]
+        nbrs = graph.indices[s:e][f]
+        k = len(take)
+        if k:
+            self.assignment[take] = pid
+            self.rest_degree[v] -= k
+            self.rest_degree[nbrs] -= 1   # simple graph: nbrs distinct
+            self.unallocated -= k
+            allocated += k
+            new_cover = nbrs[~self.in_part[nbrs]]
+            self.in_part[new_cover] = True
+            self._touched.extend(int(u) for u in new_cover)
+        else:
+            new_cover = nbrs[:0]
+        if allocated >= limit:
+            return allocated
+
+        # Two-hop rule: edges between newly covered vertices and any
+        # covered vertex are free (Condition 5).  Batched over all
+        # newly covered rows; an edge shared by two new rows is taken
+        # at its first occurrence, as in the sequential walk.
+        if len(new_cover) == 0:
+            return allocated
+        slot_idx, counts = adjacency_slots(graph.indptr, new_cover)
+        eids2 = graph.edge_ids[slot_idx]
+        ok = (self.assignment[eids2] == -1) & self.in_part[graph.indices[slot_idx]]
+        if self.allowed is not None:
+            ok &= self.allowed[eids2]
+        cand_pos = np.flatnonzero(ok)
+        push_upto = len(new_cover)       # rows whose boundary push runs
+        if len(cand_pos):
+            cand_eids = eids2[cand_pos]
+            occ = first_occurrence(cand_eids)
+            cand_pos = cand_pos[occ]
+            cand_eids = cand_eids[occ]
+            room = limit - allocated
+            if len(cand_eids) > room:
+                cand_pos = cand_pos[:room]
+                cand_eids = cand_eids[:room]
+            if len(cand_eids):
+                self.assignment[cand_eids] = pid
+                ends = graph.edges[cand_eids]
+                # O(candidates), not O(n): scatter-subtract only the
+                # touched endpoints (duplicates accumulate).
+                np.subtract.at(self.rest_degree, ends.ravel(), 1)
+                allocated += len(cand_eids)
+                self.unallocated -= len(cand_eids)
+            if allocated >= limit:
+                # The reference push-checks every row up to and
+                # including the one whose allocation reached the cap,
+                # then breaks.
+                push_upto = int(np.searchsorted(
+                    np.cumsum(counts), cand_pos[-1], side="right")) + 1
+        for u in new_cover[:push_upto]:
+            if self.rest_degree[u] > 0:
+                self.push_boundary(int(u))
+        return allocated
+
+    def _expand_vertex_python(self, v: int, pid: int, limit: int,
+                              allocated: int) -> int:
+        """Reference expansion: one adjacency slot at a time."""
         graph = self.graph
         self._cover(v)
         new_cover: list[int] = []
@@ -174,16 +270,17 @@ class NEPartitioner(Partitioner):
     name = "ne"
 
     def __init__(self, num_partitions: int, seed: int = 0,
-                 alpha: float = 1.1):
+                 alpha: float = 1.1, kernel: str = "vectorized"):
         super().__init__(num_partitions, seed)
         if alpha < 1.0:
             raise ValueError("imbalance factor alpha must be >= 1.0")
         self.alpha = alpha
+        self.kernel = validate_kernel(kernel)
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:
         p = self.num_partitions
         rng = np.random.default_rng(self.seed)
-        state = ExpansionState(graph, rng)
+        state = ExpansionState(graph, rng, kernel=self.kernel)
         limit = max(1, int(np.ceil(self.alpha * graph.num_edges / p)))
 
         for pid in range(p):

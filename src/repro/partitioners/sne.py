@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.kernels import validate_kernel
 from repro.partitioners.base import EdgePartition, Partitioner
 from repro.partitioners.ne import ExpansionState, _sweep_leftovers
 
@@ -37,13 +38,14 @@ class SNEPartitioner(Partitioner):
 
     def __init__(self, num_partitions: int, seed: int = 0,
                  alpha: float = 1.1, buffer_factor: float = 16.0,
-                 shuffle: bool = True):
+                 shuffle: bool = True, kernel: str = "vectorized"):
         super().__init__(num_partitions, seed)
         if buffer_factor <= 0:
             raise ValueError("buffer_factor must be positive")
         self.alpha = alpha
         self.buffer_factor = buffer_factor
         self.shuffle = shuffle
+        self.kernel = validate_kernel(kernel)
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:
         p = self.num_partitions
@@ -54,7 +56,8 @@ class SNEPartitioner(Partitioner):
             stream = rng.permutation(stream)
 
         allowed = np.zeros(graph.num_edges, dtype=bool)
-        state = ExpansionState(graph, rng, allowed=allowed)
+        state = ExpansionState(graph, rng, allowed=allowed,
+                               kernel=self.kernel)
         limit = max(1, int(np.ceil(self.alpha * graph.num_edges / p)))
         capacity = max(limit, int(self.buffer_factor * graph.num_edges / p))
 
@@ -62,16 +65,18 @@ class SNEPartitioner(Partitioner):
         buffered = 0  # visible & unallocated edges
 
         def refill(current_buffered: int) -> int:
+            # Bulk top-up: flip the next stream chunk visible and add
+            # its endpoint degrees in one bincount pass.
             nonlocal stream_pos
-            while current_buffered < capacity and stream_pos < len(stream):
-                eid = int(stream[stream_pos])
-                stream_pos += 1
-                allowed[eid] = True
-                u, v = graph.edges[eid]
-                state.rest_degree[u] += 1
-                state.rest_degree[v] += 1
-                current_buffered += 1
-            return current_buffered
+            need = capacity - current_buffered
+            if need <= 0 or stream_pos >= len(stream):
+                return current_buffered
+            chunk = stream[stream_pos:stream_pos + need]
+            stream_pos += len(chunk)
+            allowed[chunk] = True
+            state.rest_degree += np.bincount(
+                graph.edges[chunk].ravel(), minlength=graph.num_vertices)
+            return current_buffered + len(chunk)
 
         # With a visibility mask, rest_degree starts at zero and counts
         # only buffered edges; unallocated still tracks the full graph.

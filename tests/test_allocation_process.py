@@ -35,12 +35,20 @@ class _Sink:
         return out
 
 
-def _single_proc_setup(graph, num_partitions=2, two_hop=True):
+@pytest.fixture(params=["vectorized", "python"])
+def kernel(request):
+    """Every allocation test runs against both kernels."""
+    return request.param
+
+
+def _single_proc_setup(graph, num_partitions=2, two_hop=True,
+                       kernel="vectorized"):
     """One allocation process owning the whole graph."""
     cluster = SimulatedCluster()
     placement = Hash2DPlacement(1, seed=0)
     alloc = cluster.add_process(AllocationProcess(
-        0, graph, np.arange(graph.num_edges), placement, two_hop=two_hop))
+        0, graph, np.arange(graph.num_edges), placement, two_hop=two_hop,
+        kernel=kernel))
     sinks = [_Sink(cluster, p) for p in range(num_partitions)]
     return cluster, alloc, sinks
 
@@ -58,57 +66,57 @@ def _drive(cluster, alloc, selections):
 
 
 class TestOneHopAllocation:
-    def test_allocates_selected_vertex_edges(self, star):
-        cluster, alloc, sinks = _single_proc_setup(star)
+    def test_allocates_selected_vertex_edges(self, star, kernel):
+        cluster, alloc, sinks = _single_proc_setup(star, kernel=kernel)
         _drive(cluster, alloc, [(0, 0)])  # select hub for partition 0
         assert alloc.unallocated == 0
         assert sorted(sinks[0].edges()) == list(range(8))
 
-    def test_new_boundary_with_drest(self, path4):
-        cluster, alloc, sinks = _single_proc_setup(path4)
+    def test_new_boundary_with_drest(self, path4, kernel):
+        cluster, alloc, sinks = _single_proc_setup(path4, kernel=kernel)
         _drive(cluster, alloc, [(1, 0)])  # select middle vertex 1
         boundary = sinks[0].boundary()
         # neighbours 0 (Drest 0, omitted) and 2 (Drest 1).
         assert boundary == {2: 1}
 
-    def test_conflict_resolved_locally(self, path4):
+    def test_conflict_resolved_locally(self, path4, kernel):
         """Two partitions select the two endpoints of edge (1,2): only
         one gets it; both allocations remain edge-disjoint."""
-        cluster, alloc, sinks = _single_proc_setup(path4)
+        cluster, alloc, sinks = _single_proc_setup(path4, kernel=kernel)
         _drive(cluster, alloc, [(1, 0), (2, 1)])
         e0 = sinks[0].edges()
         e1 = sinks[1].edges()
         assert set(e0).isdisjoint(e1)
         assert len(e0) + len(e1) == 3  # all of the path's edges
 
-    def test_vertex_replicas_accumulate_partitions(self, star):
-        cluster, alloc, sinks = _single_proc_setup(star)
+    def test_vertex_replicas_accumulate_partitions(self, star, kernel):
+        cluster, alloc, sinks = _single_proc_setup(star, kernel=kernel)
         _drive(cluster, alloc, [(1, 0), (2, 1)])
         hub = alloc._vindex[0]
         assert alloc.vertex_parts[hub] == {0, 1}
 
 
 class TestTwoHopAllocation:
-    def test_triangle_closure(self, triangle):
+    def test_triangle_closure(self, triangle, kernel):
         """Selecting vertex 0 allocates (0,1),(0,2) one-hop and (1,2)
         two-hop."""
-        cluster, alloc, sinks = _single_proc_setup(triangle)
+        cluster, alloc, sinks = _single_proc_setup(triangle, kernel=kernel)
         _drive(cluster, alloc, [(0, 0)])
         assert sorted(sinks[0].edges()) == [0, 1, 2]
         assert alloc.unallocated == 0
 
-    def test_two_hop_disabled(self, triangle):
-        cluster, alloc, sinks = _single_proc_setup(triangle, two_hop=False)
+    def test_two_hop_disabled(self, triangle, kernel):
+        cluster, alloc, sinks = _single_proc_setup(triangle, two_hop=False, kernel=kernel)
         _drive(cluster, alloc, [(0, 0)])
         assert len(sinks[0].edges()) == 2
         assert alloc.unallocated == 1
 
-    def test_two_hop_goes_to_least_loaded(self):
+    def test_two_hop_goes_to_least_loaded(self, kernel):
         """When both endpoints share two partitions, the edge goes to
         the one with fewer local edges."""
         # Square 0-1-2-3 plus diagonal (1,3).
         g = CSRGraph(np.array([[0, 1], [1, 2], [2, 3], [0, 3], [1, 3]]))
-        cluster, alloc, sinks = _single_proc_setup(g, num_partitions=2)
+        cluster, alloc, sinks = _single_proc_setup(g, num_partitions=2, kernel=kernel)
         # Select 0 for p0 (takes (0,1),(0,3)); then 2 for p1 (takes
         # (1,2),(2,3)); now 1 and 3 both belong to {p0, p1}; the
         # diagonal (1,3) goes to the lighter partition (tie -> p0).
@@ -122,7 +130,7 @@ class TestTwoHopAllocation:
 
 
 class TestMultiProcessSync:
-    def test_sync_propagates_vertex_partitions(self):
+    def test_sync_propagates_vertex_partitions(self, kernel):
         """A vertex allocated on one process becomes visible on its
         replica processes after the sync phase."""
         g = CSRGraph(np.array([[0, 1], [1, 2], [2, 3]]))
@@ -130,7 +138,8 @@ class TestMultiProcessSync:
         placement = Hash2DPlacement(2, seed=0)
         homes = placement.place_edges(g.edges)
         allocs = [cluster.add_process(AllocationProcess(
-            k, g, np.flatnonzero(homes == k), placement)) for k in range(2)]
+            k, g, np.flatnonzero(homes == k), placement,
+            kernel=kernel)) for k in range(2)]
         sinks = [_Sink(cluster, p) for p in range(2)]
 
         driver = cluster.process(("expansion", 0))
@@ -155,7 +164,7 @@ class TestMultiProcessSync:
                     if gv == 2:
                         assert covered == {0}
 
-    def test_memory_reported(self, small_rmat):
-        cluster, alloc, _ = _single_proc_setup(small_rmat)
+    def test_memory_reported(self, small_rmat, kernel):
+        cluster, alloc, _ = _single_proc_setup(small_rmat, kernel=kernel)
         stats = cluster.stats.stats_for(alloc.pid)
         assert stats.peak_resident_bytes > 0

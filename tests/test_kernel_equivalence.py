@@ -1,0 +1,197 @@
+"""Golden equivalence: vectorized kernels == per-slot reference.
+
+Every hot path that grew a flat-array kernel keeps its original
+implementation behind ``kernel="python"``; these tests pin the two
+bit-for-bit against each other across graph shapes, partition counts,
+and seeds:
+
+* NE / SNE / Distributed NE produce identical ``assignment`` arrays,
+  identical ``ops_one_hop`` / ``ops_two_hop`` counters, identical
+  replication factors, and (for DNE) identical simulated-cluster
+  message/byte/memory totals;
+* the GAS engine's ``gather_sum`` / ``gather_min`` return bit-identical
+  vectors and identical communication accounting;
+* the bulk all-gather accounting matches the per-message loop exactly;
+* the reference allocation path holds no phantom (empty) replica sets
+  — the ``defaultdict`` probe leak stays fixed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.engine import AppRunStats, DistributedGraphEngine
+from repro.cluster.runtime import Process, SimulatedCluster, _same_machine
+from repro.core.allocation import TAG_SELECT, AllocationProcess
+from repro.core.distributed_ne import DistributedNE
+from repro.core.hash2d import Hash2DPlacement
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import ring_graph, rmat_edges
+from repro.partitioners import PARTITIONER_REGISTRY
+from repro.partitioners.ne import NEPartitioner
+from repro.partitioners.sne import SNEPartitioner
+
+GRAPHS = {
+    "rmat": lambda: CSRGraph(rmat_edges(9, 6, seed=42)),
+    "ring": lambda: CSRGraph(ring_graph(48)),
+    "star": lambda: CSRGraph(np.array([[0, i] for i in range(1, 24)])),
+}
+
+
+@pytest.fixture(params=sorted(GRAPHS))
+def graph(request):
+    return GRAPHS[request.param]()
+
+
+@pytest.mark.parametrize("partitions", [2, 5])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestPartitionerEquivalence:
+    def test_distributed_ne(self, graph, partitions, seed):
+        vec = DistributedNE(partitions, seed=seed).partition(graph)
+        ref = DistributedNE(partitions, seed=seed,
+                            kernel="python").partition(graph)
+        assert np.array_equal(vec.assignment, ref.assignment)
+        assert vec.iterations == ref.iterations
+        assert vec.extra["ops_one_hop"] == ref.extra["ops_one_hop"]
+        assert vec.extra["ops_two_hop"] == ref.extra["ops_two_hop"]
+        # Simulated cluster totals: same messages, bytes, barriers,
+        # peak memory.
+        assert vec.extra["cluster"] == ref.extra["cluster"]
+        assert vec.replication_factor() == ref.replication_factor()
+
+    def test_distributed_ne_no_two_hop(self, graph, partitions, seed):
+        vec = DistributedNE(partitions, seed=seed,
+                            two_hop=False).partition(graph)
+        ref = DistributedNE(partitions, seed=seed, two_hop=False,
+                            kernel="python").partition(graph)
+        assert np.array_equal(vec.assignment, ref.assignment)
+        assert vec.extra["cluster"] == ref.extra["cluster"]
+
+    def test_ne(self, graph, partitions, seed):
+        vec = NEPartitioner(partitions, seed=seed).partition(graph)
+        ref = NEPartitioner(partitions, seed=seed,
+                            kernel="python").partition(graph)
+        assert np.array_equal(vec.assignment, ref.assignment)
+        assert vec.replication_factor() == ref.replication_factor()
+
+    @pytest.mark.parametrize("buffer_factor", [2.0, 16.0])
+    def test_sne(self, graph, partitions, seed, buffer_factor):
+        vec = SNEPartitioner(partitions, seed=seed,
+                             buffer_factor=buffer_factor).partition(graph)
+        ref = SNEPartitioner(partitions, seed=seed,
+                             buffer_factor=buffer_factor,
+                             kernel="python").partition(graph)
+        assert np.array_equal(vec.assignment, ref.assignment)
+        assert vec.replication_factor() == ref.replication_factor()
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("partitions", [1, 4, 9])
+    def test_gathers_bit_identical(self, partitions):
+        graph = CSRGraph(rmat_edges(9, 6, seed=42))
+        part = PARTITIONER_REGISTRY["random"](
+            partitions, seed=1).partition(graph)
+        vec = DistributedGraphEngine(part, seed=0)
+        ref = DistributedGraphEngine(part, seed=0, kernel="python")
+        assert np.array_equal(vec.master, ref.master)
+        assert np.array_equal(vec.replica_count, ref.replica_count)
+
+        rng = np.random.default_rng(0)
+        values = rng.random(graph.num_vertices)
+        active = rng.random(graph.num_vertices) < 0.4
+        dist = np.where(active, values * 10, np.inf)
+        sv = AppRunStats(local_seconds=np.zeros(partitions))
+        sr = AppRunStats(local_seconds=np.zeros(partitions))
+
+        assert np.array_equal(
+            vec.gather_sum(values, sv, weight_by_degree=True),
+            ref.gather_sum(values, sr, weight_by_degree=True))
+        assert sv.comm_bytes == sr.comm_bytes
+
+        assert np.array_equal(
+            vec.gather_min(dist, sv, active, offset=1.0),
+            ref.gather_min(dist, sr, active, offset=1.0))
+        assert sv.comm_bytes == sr.comm_bytes
+
+
+class TestAllGatherAccounting:
+    def _reference_totals(self, pids):
+        sent = {pid: [0, 0] for pid in pids}
+        recv = {pid: [0, 0] for pid in pids}
+        for src in pids:
+            for dst in pids:
+                if src == dst:
+                    continue
+                nbytes = 0 if _same_machine(src, dst) else 8
+                sent[src][0] += 1
+                sent[src][1] += nbytes
+                recv[dst][0] += 1
+                recv[dst][1] += nbytes
+        return sent, recv
+
+    @pytest.mark.parametrize("pids", [
+        [("expansion", k) for k in range(6)],
+        [("expansion", 0), ("alloc", 0), ("expansion", 1)],
+        ["a", "b", ("x", 1), ("y", 1)],
+        ["solo"],
+    ])
+    def test_bulk_matches_per_message_loop(self, pids):
+        cluster = SimulatedCluster()
+        for pid in pids:
+            cluster.add_process(Process(pid))
+        total = cluster.all_gather_sum({pid: 2.0 for pid in pids})
+        assert total == 2.0 * len(pids)
+        sent, recv = self._reference_totals(sorted(pids, key=repr))
+        for pid in pids:
+            s = cluster.stats.stats_for(pid)
+            assert [s.messages_sent, s.bytes_sent] == sent[pid]
+            assert [s.messages_received, s.bytes_received] == recv[pid]
+
+
+class TestReferencePathHygiene:
+    def test_no_phantom_replica_sets(self):
+        """Two-hop membership probes must not materialise empty sets
+        (the defaultdict leak inflated the Fig-9 replica report)."""
+        graph = CSRGraph(rmat_edges(8, 6, seed=5))
+        cluster = SimulatedCluster()
+        placement = Hash2DPlacement(1, seed=0)
+        alloc = cluster.add_process(AllocationProcess(
+            0, graph, np.arange(graph.num_edges), placement,
+            kernel="python"))
+        driver = cluster.add_process(Process(("expansion", 0)))
+        cluster.add_process(Process(("expansion", 1)))
+        # Two rounds of selections, exercising one-hop and two-hop.
+        for payload in ([(0, 0), (1, 1)], [(2, 0), (3, 1)]):
+            driver.send(alloc.pid, TAG_SELECT, payload)
+            cluster.barrier()
+            alloc.one_hop_and_sync()
+            cluster.barrier()
+            alloc.two_hop_and_report()
+            cluster.barrier()
+        assert all(len(s) > 0 for s in alloc._parts.values())
+        # The memory report counts exactly the real replica pairs.
+        entries = sum(len(s) for s in alloc._parts.values())
+        stats = cluster.stats.stats_for(alloc.pid)
+        assert stats._resident["replica_sets"] == entries * 8
+
+    def test_vectorized_replica_report_matches_reference(self):
+        graph = CSRGraph(rmat_edges(8, 6, seed=5))
+        results = {}
+        for kernel in ("python", "vectorized"):
+            cluster = SimulatedCluster()
+            placement = Hash2DPlacement(1, seed=0)
+            alloc = cluster.add_process(AllocationProcess(
+                0, graph, np.arange(graph.num_edges), placement,
+                kernel=kernel))
+            driver = cluster.add_process(Process(("expansion", 0)))
+            cluster.add_process(Process(("expansion", 1)))
+            driver.send(alloc.pid, TAG_SELECT, [(0, 0), (1, 1)])
+            cluster.barrier()
+            alloc.one_hop_and_sync()
+            cluster.barrier()
+            alloc.two_hop_and_report()
+            cluster.barrier()
+            results[kernel] = (
+                cluster.stats.stats_for(alloc.pid)._resident.copy(),
+                {lv: set(ps) for lv, ps in alloc.vertex_parts.items()
+                 if ps})
+        assert results["python"] == results["vectorized"]

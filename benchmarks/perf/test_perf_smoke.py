@@ -1,10 +1,12 @@
 """Tier-1 perf smoke test — kernel regressions fail fast.
 
 A tiny slice of the ``repro bench perf`` suite: on a ~50k-edge RMAT
-graph, the vectorized DNE one-hop kernel must beat the per-slot
-reference by a comfortable margin (the full bench shows >5×; asserting
-2× keeps the test robust to noisy CI boxes), and every kernel pair must
-agree on its outputs.
+graph, the vectorized DNE one-hop kernel and the vectorized selection
+plane (array-backed boundary queue + batched multicast at the paper's
+64-machine scale-out regime) must each beat their per-pair reference by
+a comfortable margin (the full bench shows >4×; asserting 2× keeps the
+tests robust to noisy CI boxes), and every kernel pair must agree on
+its outputs.
 
 The full trajectory lives in ``BENCH_kernels.json`` (regenerate with
 ``python -m repro bench perf``).
@@ -17,6 +19,7 @@ from repro.bench.perf import (
     bench_allocation_phases,
     bench_csr_build,
     bench_engine_gathers,
+    bench_selection_phase,
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import rmat_edges
@@ -36,6 +39,38 @@ def test_one_hop_vectorized_at_least_2x():
     assert py_one >= 2.0 * vec_one, (
         f"one-hop speedup regressed: python {py_one:.3f}s vs "
         f"vectorized {vec_one:.3f}s ({py_one / vec_one:.2f}x < 2x)")
+
+
+def test_selection_vectorized_at_least_2x():
+    """The selection/boundary plane (§7.4's scale-out bottleneck) at
+    |P| = 64: array queue + batched multicast vs heapq + tuple lists."""
+    graph = _smoke_graph()
+    py_sel, py_fold = bench_selection_phase(graph, 64, "python")
+    vec_sel, vec_fold = bench_selection_phase(graph, 64, "vectorized")
+    assert vec_sel > 0 and vec_fold > 0
+    assert py_sel >= 2.0 * vec_sel, (
+        f"selection speedup regressed: python {py_sel:.3f}s vs "
+        f"vectorized {vec_sel:.3f}s ({py_sel / vec_sel:.2f}x < 2x)")
+
+
+def test_selection_bench_kernels_agree_on_traffic(monkeypatch):
+    """Both kernels must drive identical simulated traffic through the
+    selection bench — ndarray payloads size exactly like tuple lists."""
+    import repro.bench.perf as perf
+    from repro.cluster.runtime import SimulatedCluster
+
+    graph = CSRGraph(rmat_edges(9, 6, seed=2))
+    stats = {}
+    for kernel in ("python", "vectorized"):
+        captured = []
+        orig_init = SimulatedCluster.__init__
+        monkeypatch.setattr(
+            SimulatedCluster, "__init__",
+            lambda self: (orig_init(self), captured.append(self))[0])
+        perf.bench_selection_phase(graph, 8, kernel)
+        monkeypatch.undo()
+        stats[kernel] = captured[0].stats.summary()
+    assert stats["python"] == stats["vectorized"]
 
 
 def test_remaining_kernels_run():

@@ -5,12 +5,20 @@ step (Scale24@4 ... Scale30@256, EF up to 1024 = the trillion-edge
 graph, 69.7 minutes).  Scaled-down protocol here: vertices per machine
 fixed, machines x4 per step over Scale12->Scale16.
 
-Reproodced observations:
+Reproduced observations:
 
 * elapsed time grows roughly linearly in the machine count (workload
   imbalance across expansion processes, not a flat line);
-* the vertex-selection phase's share of runtime grows with machine
-  count (paper: <1% at 4 machines -> 30.3% at 256).
+* the vertex-selection phase's share of the per-iteration critical
+  path grows with machine count (paper: <1% at 4 machines -> 30.3% at
+  256).  The share is asserted on the deterministic cost model
+  (``selection_share_model``: per-iteration maxima of multicast
+  ⟨vertex, replica⟩ pairs vs adjacency slots touched) — the growth is
+  structural, driven by the O(sqrt |P|) replica fan-out per selected
+  vertex, and identical under both kernels.  Wall-clock shares are
+  recorded alongside; after PR 2's vectorized selection plane they
+  stay flat at these scales (that plane was built to remove exactly
+  this bottleneck), so they no longer carry the trend assertion.
 """
 
 from repro.bench.experiments import fig10j_weak_scaling
@@ -27,18 +35,21 @@ def test_fig10j_weak_scaling(benchmark, record):
 
     print("\n" + format_table(
         ["machines", "scale", "edges", "seconds", "selection share",
-         "iterations"],
+         "model share", "iterations"],
         [[r["machines"], r["scale"], r["edges"], r["elapsed_seconds"],
-          r["selection_share"], r["iterations"]] for r in rows],
+          r["selection_share"], r["selection_share_model"],
+          r["iterations"]] for r in rows],
         title="Figure 10(j): weak scaling (vertices/machine fixed)"))
 
     times = [r["elapsed_seconds"] for r in rows]
     shares = [r["selection_share"] for r in rows]
     # elapsed time grows with machine count under weak scaling
     assert all(b > a for a, b in zip(times, times[1:]))
-    # The vertex-selection share grows with machine count.  Phase times
-    # come from sub-millisecond wall-clock samples, so allow timing
-    # noise: the largest-machine share must not fall below the
-    # smallest-machine share by more than 20%.
-    assert shares[-1] > shares[0] * 0.8
     assert all(0.0 <= s <= 1.0 for s in shares)
+
+    # The modeled selection share grows with machine count — the
+    # deterministic form of the paper's observation (no timing noise:
+    # these are op counts, bit-identical across kernels and runs).
+    model_shares = [r["selection_share_model"] for r in rows]
+    assert model_shares[-1] > model_shares[0]
+    assert all(0.0 <= s <= 1.0 for s in model_shares)

@@ -10,6 +10,12 @@ speedups it claims and future PRs can track regressions:
 * ``dne_one_hop`` / ``dne_two_hop`` — the allocation phases of
   Distributed NE (Algorithms 2–3), driven by a synthetic selection
   schedule over a single allocation process that owns the whole graph;
+* ``dne_selection`` / ``dne_boundary_fold`` — the expansion-side
+  selection plane (§7.4's scale-out bottleneck): boundary-queue pops +
+  replica multicast, and the received-boundary fold, timed over a full
+  cluster of expansion processes at ``selection_partitions`` machines
+  (array-backed queue + batched membership + ndarray payloads vs the
+  heapq/tuple-list reference);
 * ``ne_expand`` — a full sequential-NE partition (the
   ``ExpansionState.expand_vertex`` path shared with SNE);
 * ``gather_sum`` / ``gather_min`` — the GAS engine's gather
@@ -36,7 +42,9 @@ import numpy as np
 
 from repro.apps.engine import AppRunStats, DistributedGraphEngine
 from repro.cluster.runtime import Process, SimulatedCluster, _same_machine
-from repro.core.allocation import TAG_SELECT, AllocationProcess
+from repro.core.allocation import (TAG_BOUNDARY, TAG_EDGES, TAG_SELECT,
+                                   AllocationProcess)
+from repro.core.expansion import ExpansionProcess
 from repro.core.hash2d import Hash2DPlacement
 from repro.graph.csr import CSRGraph, symmetrised_csr
 from repro.graph.edgelist import canonical_edges
@@ -45,8 +53,9 @@ from repro.partitioners import PARTITIONER_REGISTRY
 from repro.partitioners.ne import NEPartitioner
 
 __all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
-           "bench_ne_expand", "bench_engine_gathers",
-           "bench_all_gather_sum", "bench_csr_build"]
+           "bench_selection_phase", "bench_ne_expand",
+           "bench_engine_gathers", "bench_all_gather_sum",
+           "bench_csr_build"]
 
 #: RMAT edge factor used by every perf graph.
 _EDGE_FACTOR = 8
@@ -115,6 +124,102 @@ def bench_allocation_phases(graph: CSRGraph, partitions: int, kernel: str,
             cluster._receive(("expansion", p), "boundary")
             cluster._receive(("expansion", p), "edges")
     return one_hop, two_hop
+
+
+# ----------------------------------------------------------------------
+# DNE selection plane (boundary queue + multicast + boundary fold)
+# ----------------------------------------------------------------------
+class _SeedlessAlloc(Process):
+    """Allocation stand-in for the selection bench: receives multicasts
+    and always reports no seed vertex (keeps the timed loop on the
+    boundary path, never the seed-scan fallback)."""
+
+    def random_unallocated_vertex(self, rng) -> None:
+        return None
+
+    def min_degree_unallocated_vertex(self) -> None:
+        return None
+
+
+def bench_selection_phase(graph: CSRGraph, partitions: int, kernel: str,
+                          lam: float = 0.1, rounds: int = 6,
+                          stream: int | None = None) -> tuple[float, float]:
+    """Cumulative (selection+multicast, boundary-fold) seconds.
+
+    Drives a full cluster of expansion processes through the
+    steady-state shape of Algorithm 4 with the allocation phases
+    replaced by a deterministic feed: over ``rounds`` rounds every
+    expander receives ``stream`` ⟨v, Drest⟩ boundary pairs (the same
+    permuted vertex stream per expander, Drest = degree, defaulting to
+    enough vertices that boundaries hold the multi-thousand-entry
+    steady state real DNE runs sustain) plus an edge-id batch, folds
+    them in, and selects/multicasts its ``ceil(lam |B|)``
+    minimum-Drest vertices; after the stream is exhausted, expanders
+    drain until their boundary falls under one feed batch.  The
+    schedule is identical for both kernels — payloads are tuple lists
+    for the reference, ndarrays for the vectorized kernel, sized
+    identically by the accounting model — so the timings isolate the
+    boundary-queue, multicast, and fold implementations.
+    """
+    n = graph.num_vertices
+    if stream is None:
+        stream = min(n, max(192, n // 24))
+    cluster = SimulatedCluster()
+    placement = Hash2DPlacement(partitions, seed=0)
+    expanders = [cluster.add_process(ExpansionProcess(
+        k, partitions, limit=graph.num_edges + 1,
+        total_edges=graph.num_edges, lam=lam, seed=0,
+        placement=placement, kernel=kernel)) for k in range(partitions)]
+    allocators = [cluster.add_process(_SeedlessAlloc(("alloc", k)))
+                  for k in range(partitions)]
+
+    rng = np.random.default_rng(0)
+    order = rng.permutation(n)[:stream]
+    degs = graph.degrees()
+    chunk = max(1, -(-stream // rounds))
+    feeds = [order[start:start + chunk]
+             for start in range(0, stream, chunk)]
+    eid_feed = rng.integers(0, max(graph.num_edges, 1), size=4 * chunk)
+
+    t_select = t_fold = 0.0
+    pos = 0
+    while True:
+        # Feed phase (untimed): one boundary + edge batch per expander.
+        if pos < len(feeds):
+            vs = feeds[pos]
+            pos += 1
+            if kernel == "python":
+                payload = list(zip(vs.tolist(), degs[vs].tolist()))
+            else:
+                payload = np.column_stack([vs, degs[vs]]).astype(np.int64)
+            for e in expanders:
+                allocators[0].send(e.pid, TAG_BOUNDARY, payload)
+                allocators[0].send(e.pid, TAG_EDGES, eid_feed)
+        cluster.barrier()
+
+        t0 = time.perf_counter()
+        for e in expanders:
+            e.update_state()
+        t_fold += time.perf_counter() - t0
+
+        if pos >= len(feeds):
+            # Stream exhausted: retire near-drained expanders so the
+            # tail never degenerates into singleton pops or the
+            # seed-scan fallback.
+            for e in expanders:
+                if len(e.boundary) < chunk:
+                    e.finished = True
+            if all(e.finished for e in expanders):
+                break
+
+        t0 = time.perf_counter()
+        for e in expanders:
+            e.select_and_multicast(allocators)
+        t_select += time.perf_counter() - t0
+        cluster.barrier()
+        for k in range(partitions):
+            cluster._receive(("alloc", k), TAG_SELECT)
+    return t_select, t_fold
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +337,7 @@ def _row(name: str, edge_scale: int, graph: CSRGraph | None,
 
 def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
              engine_partitions: int = 256,
+             selection_partitions: int = 64,
              out: str | None = "BENCH_kernels.json",
              seed: int = 0) -> dict:
     """Time every kernel pair at each scale; optionally write JSON.
@@ -239,7 +345,10 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
     ``partitions`` drives the DNE/NE partitioning benches;
     ``engine_partitions`` drives the GAS gather benches, defaulting to
     the paper's largest cluster scale (§7.4 runs 256 machines), where
-    the reference kernel's O(n · P) dense temporaries dominate.
+    the reference kernel's O(n · P) dense temporaries dominate;
+    ``selection_partitions`` drives the expansion-side selection bench
+    (default 64 machines — the scale-out regime where §7.4 reports the
+    selection phase eating into the wall clock).
 
     Returns the result document: ``{"meta": ..., "kernels": [rows]}``
     with one row per (kernel, scale) holding both kernels' seconds and
@@ -253,6 +362,14 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
         vec = bench_allocation_phases(graph, partitions, "vectorized")
         rows.append(_row("dne_one_hop", edge_scale, graph, py[0], vec[0]))
         rows.append(_row("dne_two_hop", edge_scale, graph, py[1], vec[1]))
+
+        py = bench_selection_phase(graph, selection_partitions, "python")
+        vec = bench_selection_phase(graph, selection_partitions,
+                                    "vectorized")
+        rows.append(_row("dne_selection", edge_scale, graph,
+                         py[0], vec[0]))
+        rows.append(_row("dne_boundary_fold", edge_scale, graph,
+                         py[1], vec[1]))
 
         rows.append(_row("ne_expand", edge_scale, graph,
                          bench_ne_expand(graph, partitions, "python"),
@@ -278,6 +395,7 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
             "edge_factor": _EDGE_FACTOR,
             "partitions": partitions,
             "engine_partitions": engine_partitions,
+            "selection_partitions": selection_partitions,
             "seed": seed,
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -95,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--engine-partitions", type=int, default=256,
                         help="cluster size for the GAS gather benches "
                              "(default 256, the paper's §7.4 maximum)")
+    p_perf.add_argument("--selection-partitions", type=int, default=64,
+                        help="cluster size for the DNE selection-phase "
+                             "benches (default 64 machines)")
     p_perf.add_argument("--seed", type=int, default=0)
     p_perf.add_argument("--out", default="BENCH_kernels.json",
                         help="JSON output path ('-' to skip writing)")
@@ -178,6 +181,7 @@ def _cmd_bench(args) -> int:
     doc = run_perf(edge_scales=tuple(args.scales),
                    partitions=args.partitions,
                    engine_partitions=args.engine_partitions,
+                   selection_partitions=args.selection_partitions,
                    out=out, seed=args.seed)
     headers = ["kernel", "edge_scale", "edges",
                "python_seconds", "vectorized_seconds", "speedup"]

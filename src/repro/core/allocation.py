@@ -33,20 +33,42 @@ comes from.  This module mirrors the argument with two interchangeable
 kernels:
 
 * ``kernel="vectorized"`` (default) — replica membership is a
-  ``(num_local_vertices, |P|)`` boolean matrix, one-hop allocation is a
-  batched gather of whole adjacency slices via ``indptr``
-  fancy-indexing followed by first-occurrence dedup, and
-  ``rest_degree`` / per-partition load updates are ``np.bincount``
-  scatter-adds.  Per iteration the work is O(slots touched), with no
-  per-slot Python dispatch.
+  per-local-vertex partition-set matrix (see *Membership backends*
+  below), one-hop allocation is a batched gather of whole adjacency
+  slices via ``indptr`` fancy-indexing followed by first-occurrence
+  dedup, ``rest_degree`` / per-partition load updates are
+  ``np.bincount`` scatter-adds, and every message payload is a
+  structured int64 ndarray under the payload contract of
+  :mod:`repro.cluster.runtime` — tuple lists never materialise.  Per
+  iteration the work is O(slots touched), with no per-slot Python
+  dispatch.
 * ``kernel="python"`` — the slow reference: dict-of-set replica state
-  walked one adjacency slot at a time, kept for golden equivalence
-  tests (``tests/test_kernel_equivalence.py`` pins vectorized ==
-  reference bit-for-bit) and as executable documentation of
-  Algorithms 2–3.
+  walked one adjacency slot at a time, exchanging tuple-list payloads,
+  kept for golden equivalence tests
+  (``tests/test_kernel_equivalence.py`` pins vectorized == reference
+  bit-for-bit) and as executable documentation of Algorithms 2–3.
 
 Both kernels produce identical ``alloc`` arrays, identical message
-payloads (content *and* order), and identical ``ops_*`` counters.
+payloads (byte size *and* order under the accounting model), and
+identical ``ops_*`` counters.
+
+Membership backends
+-------------------
+The vectorized replica state is ``(num_local_vertices, |P|)`` bits with
+two layouts behind one interface:
+
+* :class:`DenseMembership` — a boolean matrix, one byte per bit; the
+  default for |P| ≤ 64 where the footprint is small and direct boolean
+  indexing is fastest.
+* :class:`PackedMembership` — uint64 words, 64 partitions per word
+  (``ceil(|P|/64)`` words per vertex), selected automatically for
+  |P| > 64.  Row combination becomes word-wise ``&``/``|``, cardinality
+  ``np.bitwise_count``, cutting the membership footprint 8× — the
+  layout the Fig-9 memory model reports at |P| > 64 (the
+  ``membership_words`` resident entry, identical under both kernels).
+
+Both backends produce bit-identical allocation behaviour (pinned by the
+packed-vs-dense property tests).
 """
 
 from __future__ import annotations
@@ -55,17 +77,180 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.cluster.runtime import Process
+from repro.cluster.runtime import Process, pair_array
+from repro.core.hash2d import unpack_bool_matrix
 from repro.graph.csr import CSRGraph, adjacency_slots, first_occurrence
 from repro.kernels import validate_kernel
 
-__all__ = ["AllocationProcess", "TAG_SELECT", "TAG_SYNC", "TAG_BOUNDARY",
-           "TAG_EDGES"]
+__all__ = ["AllocationProcess", "DenseMembership", "PackedMembership",
+           "TAG_SELECT", "TAG_SYNC", "TAG_BOUNDARY", "TAG_EDGES"]
 
 TAG_SELECT = "select"
 TAG_SYNC = "sync"
 TAG_BOUNDARY = "boundary"
 TAG_EDGES = "edges"
+
+#: widest |P| served by the dense boolean backend; beyond it the packed
+#: uint64 backend takes over (``membership="auto"``)
+DENSE_MEMBERSHIP_MAX_PARTITIONS = 64
+
+_U64_ONE = np.uint64(1)
+
+
+class DenseMembership:
+    """Boolean ``(num_vertices, width)`` replica-membership matrix."""
+
+    kind = "dense"
+
+    def __init__(self, num_vertices: int, width: int):
+        self._mat = np.zeros((num_vertices, width), dtype=bool)
+
+    @property
+    def width(self) -> int:
+        return self._mat.shape[1]
+
+    def grow(self, width: int) -> None:
+        if width > self.width:
+            self._mat = np.concatenate(
+                [self._mat,
+                 np.zeros((self._mat.shape[0], width - self.width),
+                          dtype=bool)], axis=1)
+
+    def entries(self) -> int:
+        """Number of set (vertex, partition) bits."""
+        return int(self._mat.sum())
+
+    def nonzero(self) -> tuple[np.ndarray, np.ndarray]:
+        """(vertex idx, partition) coordinates of every set bit."""
+        return np.nonzero(self._mat)
+
+    # -- single-partition column ops (one-hop) -------------------------
+    def test_col(self, idx: np.ndarray, p: int) -> np.ndarray:
+        return self._mat[idx, p]
+
+    def set_col(self, idx: np.ndarray, p: int) -> None:
+        self._mat[idx, p] = True
+
+    # -- (vertex, partition) pair ops (sync merge) ---------------------
+    def test_pairs(self, idx: np.ndarray, ps: np.ndarray) -> np.ndarray:
+        return self._mat[idx, ps]
+
+    def set_pairs(self, idx: np.ndarray, ps: np.ndarray) -> None:
+        self._mat[idx, ps] = True
+
+    # -- row-mask algebra (two-hop shared-partition tests) -------------
+    def rows_and(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-row partition-set intersection masks (backend layout)."""
+        return self._mat[a] & self._mat[b]
+
+    @staticmethod
+    def mask_any(masks: np.ndarray) -> np.ndarray:
+        return masks.any(axis=1)
+
+    @staticmethod
+    def mask_count(masks: np.ndarray) -> np.ndarray:
+        return masks.sum(axis=1)
+
+    @staticmethod
+    def mask_single_partition(masks: np.ndarray) -> np.ndarray:
+        """Partition id per row, valid only for single-bit rows."""
+        return masks.argmax(axis=1)
+
+    @staticmethod
+    def mask_nonzero(masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return np.nonzero(masks)
+
+    def nbytes(self) -> int:
+        return self._mat.nbytes
+
+
+class PackedMembership:
+    """Packed replica membership: ``ceil(width/64)`` uint64 words per
+    vertex, bit ``p % 64`` of word ``p // 64`` = partition ``p``.
+
+    Same interface as :class:`DenseMembership` at 1/8 the footprint;
+    row-mask algebra works on word matrices (``&`` for intersection,
+    ``np.bitwise_count`` for cardinality)."""
+
+    kind = "packed"
+
+    def __init__(self, num_vertices: int, width: int):
+        self._width = width
+        self._words = np.zeros((num_vertices, (width + 63) // 64),
+                               dtype=np.uint64)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def grow(self, width: int) -> None:
+        if width <= self._width:
+            return
+        need = (width + 63) // 64
+        if need > self._words.shape[1]:
+            self._words = np.concatenate(
+                [self._words,
+                 np.zeros((self._words.shape[0], need - self._words.shape[1]),
+                          dtype=np.uint64)], axis=1)
+        self._width = width
+
+    def entries(self) -> int:
+        return int(np.bitwise_count(self._words).sum())
+
+    def nonzero(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.mask_nonzero(self._words)
+
+    def test_col(self, idx: np.ndarray, p: int) -> np.ndarray:
+        word, bit = p >> 6, np.uint64(p & 63)
+        return (self._words[idx, word] >> bit) & _U64_ONE != 0
+
+    def set_col(self, idx: np.ndarray, p: int) -> None:
+        # All updates OR the same bit, so buffered fancy |= is exact
+        # even with duplicate indices.
+        self._words[idx, p >> 6] |= _U64_ONE << np.uint64(p & 63)
+
+    def test_pairs(self, idx: np.ndarray, ps: np.ndarray) -> np.ndarray:
+        bits = (ps & 63).astype(np.uint64)
+        return (self._words[idx, ps >> 6] >> bits) & _U64_ONE != 0
+
+    def set_pairs(self, idx: np.ndarray, ps: np.ndarray) -> None:
+        # Distinct pairs can share a (vertex, word) slot with different
+        # bits; bitwise_or.at applies every duplicate.
+        np.bitwise_or.at(self._words, (idx, ps >> 6),
+                         _U64_ONE << (ps & 63).astype(np.uint64))
+
+    def rows_and(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._words[a] & self._words[b]
+
+    @staticmethod
+    def mask_any(masks: np.ndarray) -> np.ndarray:
+        return masks.any(axis=1)
+
+    @staticmethod
+    def mask_count(masks: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(masks).sum(axis=1).astype(np.int64)
+
+    @staticmethod
+    def mask_single_partition(masks: np.ndarray) -> np.ndarray:
+        word = (masks != 0).argmax(axis=1)
+        vals = masks[np.arange(len(masks)), word]
+        # Bit position by vectorized binary search (exact for any
+        # single-bit word; garbage-in-garbage-out for multi-bit rows,
+        # which callers mask away).
+        pos = np.zeros(len(masks), dtype=np.int64)
+        for shift in (32, 16, 8, 4, 2, 1):
+            high = vals >= (_U64_ONE << np.uint64(shift))
+            pos[high] += shift
+            vals = vals >> np.where(high, np.uint64(shift), np.uint64(0))
+        return word * 64 + pos
+
+    def mask_nonzero(self, masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # One home for the word->bool layout (endian-safe): hash2d's
+        # unpacker, the exact inverse of pack_bool_matrix.
+        return np.nonzero(unpack_bool_matrix(masks, self._width))
+
+    def nbytes(self) -> int:
+        return self._words.nbytes
 
 
 class AllocationProcess(Process):
@@ -73,9 +258,11 @@ class AllocationProcess(Process):
 
     def __init__(self, machine: int, graph: CSRGraph, edge_ids: np.ndarray,
                  placement, two_hop: bool = True,
-                 kernel: str = "vectorized"):
+                 kernel: str = "vectorized", membership: str = "auto"):
         super().__init__(("alloc", machine))
         validate_kernel(kernel)
+        if membership not in ("auto", "dense", "packed"):
+            raise ValueError("membership must be 'auto', 'dense' or 'packed'")
         self.machine = machine
         self.graph = graph
         self.placement = placement
@@ -126,8 +313,14 @@ class AllocationProcess(Process):
             self._member = None
         else:
             self._parts = None
-            #: vectorized replica state: (local vid, partition) matrix
-            self._member = np.zeros((nv, self.num_partitions), dtype=bool)
+            if membership == "packed" or (
+                    membership == "auto"
+                    and self.num_partitions > DENSE_MEMBERSHIP_MAX_PARTITIONS):
+                #: vectorized replica state, uint64-packed (|P| ≫ 64)
+                self._member = PackedMembership(nv, self.num_partitions)
+            else:
+                #: vectorized replica state, boolean matrix
+                self._member = DenseMembership(nv, self.num_partitions)
 
         # Operation counters for the Theorem 3 cost model: adjacency
         # slots touched in each allocation phase.
@@ -139,6 +332,12 @@ class AllocationProcess(Process):
     # ------------------------------------------------------------------
     # Replica-state views (kernel-independent API)
     # ------------------------------------------------------------------
+    @property
+    def membership_kind(self) -> str:
+        """Replica-state layout: ``dict`` (reference), ``dense`` or
+        ``packed`` (vectorized backends)."""
+        return "dict" if self._parts is not None else self._member.kind
+
     @property
     def vertex_parts(self) -> dict:
         """Replica state as ``{local vid: set of partition ids}``.
@@ -152,7 +351,7 @@ class AllocationProcess(Process):
             for lv, ps in self._parts.items():
                 out[lv] = set(ps)
             return out
-        lv_idx, p_idx = np.nonzero(self._member)
+        lv_idx, p_idx = self._member.nonzero()
         for lv, p in zip(lv_idx.tolist(), p_idx.tolist()):
             out[lv].add(p)
         return out
@@ -176,16 +375,13 @@ class AllocationProcess(Process):
         self._part_loads = np.concatenate(
             [self._part_loads, np.zeros(grow, dtype=np.int64)])
         if self._member is not None:
-            self._member = np.concatenate(
-                [self._member,
-                 np.zeros((self._member.shape[0], grow), dtype=bool)],
-                axis=1)
+            self._member.grow(p + 1)
 
     def _replica_entries(self) -> int:
         """Number of real (vertex, partition) replica pairs held locally."""
         if self._parts is not None:
             return sum(len(s) for s in self._parts.values())
-        return int(self._member.sum())
+        return self._member.entries()
 
     # ------------------------------------------------------------------
     # Memory model (Figure 9): CSR arrays + allocation state + replica sets.
@@ -195,14 +391,25 @@ class AllocationProcess(Process):
                + self._adj_ptr.nbytes + self._adj_eid.nbytes
                + self._adj_other.nbytes + self.local_vertices.nbytes)
         state = self.alloc.nbytes + self.rest_degree.nbytes
-        # Replica metadata: one byte-scale entry per real (vertex,
-        # partition) pair.  Probed-but-absent vertices contribute
-        # nothing (the reference kernel uses non-mutating lookups, so
-        # no phantom entries exist to begin with).
-        replica = self._replica_entries() * 8
         self.set_resident("graph_csr", csr)
         self.set_resident("alloc_state", state)
-        self.set_resident("replica_sets", replica)
+        # Replica metadata, one layout at a time (never both): up to 64
+        # partitions the model is one byte-scale entry per real
+        # (vertex, partition) pair (probed-but-absent vertices
+        # contribute nothing — the reference kernel uses non-mutating
+        # lookups, so no phantom entries exist); past 64 partitions the
+        # deployed layout is the packed uint64-word bitset, and the
+        # model reports its footprint *instead* — identically under
+        # both kernels, the reference dict standing in for the same
+        # deployed structure.
+        width = len(self._part_loads)
+        if width > DENSE_MEMBERSHIP_MAX_PARTITIONS:
+            words = (width + 63) // 64
+            self.set_resident("replica_sets", 0)
+            self.set_resident("membership_words",
+                              len(self.local_vertices) * words * 8)
+        else:
+            self.set_resident("replica_sets", self._replica_entries() * 8)
 
     # ------------------------------------------------------------------
     # Seed lookup (expansion fallback when the boundary is empty).
@@ -227,23 +434,37 @@ class AllocationProcess(Process):
     # ------------------------------------------------------------------
     def one_hop_and_sync(self) -> None:
         received = self.receive(TAG_SELECT)
-        # Deterministic order: by (partition, vertex) over all messages.
-        pairs = sorted({(int(p), int(v)) for _, payload in received
-                        for (v, p) in payload})
-
-        self._bp_new: list[tuple[int, int]] = []   # (global vid, p) new pairs
-        self._ep_new: dict[int, list[int]] = defaultdict(list)  # p -> global eids
-
-        sync_out: dict[int, list[tuple[int, int]]] = defaultdict(list)
-        if pairs:
-            self._ensure_partition_capacity(max(p for p, _ in pairs))
+        self._ep_new: dict[int, list] = defaultdict(list)  # p -> global eids
         if self.kernel == "python":
+            #: (global vid, p) new pairs, tuple list (reference)
+            self._bp_new: list = []
+            # Deterministic order: by (partition, vertex) over all messages.
+            pairs = sorted({(int(p), int(v)) for _, payload in received
+                            for (v, p) in payload})
+            sync_out: dict[int, list] = defaultdict(list)
+            if pairs:
+                self._ensure_partition_capacity(max(p for p, _ in pairs))
             self._one_hop_python(pairs, sync_out)
-        else:
-            self._one_hop_vectorized(pairs, sync_out)
+            for proc, payload in sorted(sync_out.items()):
+                self.send(("alloc", proc), TAG_SYNC, payload)
+            return
 
-        for proc, payload in sorted(sync_out.items()):
-            self.send(("alloc", proc), TAG_SYNC, payload)
+        #: (global vid, p) new pairs, list of (k, 2) array chunks
+        self._bp_new = []
+        sync_out = defaultdict(list)               # proc -> array chunks
+        chunks = [pair_array(payload) for _, payload in received]
+        chunks = [c for c in chunks if len(c)]
+        if chunks:
+            arr = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            # Deterministic dedup: unique (p, v) rows come out of
+            # np.unique lexicographically sorted — the reference's
+            # sorted-set iteration order.
+            pv = np.unique(arr[:, ::-1], axis=0)
+            self._ensure_partition_capacity(int(pv[-1, 0]))
+            self._one_hop_vectorized(pv[:, 0], pv[:, 1], sync_out)
+        for proc, parts in sorted(sync_out.items()):
+            self.send(("alloc", proc), TAG_SYNC,
+                      parts[0] if len(parts) == 1 else np.concatenate(parts))
 
     def _one_hop_python(self, pairs, sync_out) -> None:
         """Reference one-hop: one adjacency slot at a time."""
@@ -274,10 +495,13 @@ class AllocationProcess(Process):
                         if proc != self.machine:
                             sync_out[proc].append((u, p))
 
-    def _one_hop_vectorized(self, pairs, sync_out) -> None:
+    def _one_hop_vectorized(self, parr, varr, sync_out) -> None:
         """Flat-array one-hop: per partition, gather every selected
         vertex's adjacency slice at once, allocate the first-occurrence
         free edges, and batch the boundary/sync bookkeeping.
+
+        ``parr`` / ``varr`` are the deduped selection pairs as parallel
+        arrays, sorted by (partition, vertex).
 
         Equivalence with the sequential reference (which walks pairs in
         (p, v) order):
@@ -295,12 +519,8 @@ class AllocationProcess(Process):
           update — so probing the membership matrix before applying
           this group's updates is exact.
         """
-        if not pairs:
+        if not len(parr):
             return
-        parr = np.fromiter((pq[0] for pq in pairs), dtype=np.int64,
-                           count=len(pairs))
-        varr = np.fromiter((pq[1] for pq in pairs), dtype=np.int64,
-                           count=len(pairs))
         # Map global -> local vertex ids; drop vertices not held here.
         pos = np.searchsorted(self.local_vertices, varr)
         nv = len(self.local_vertices)
@@ -327,16 +547,16 @@ class AllocationProcess(Process):
         slot_idx, _ = adjacency_slots(self._adj_ptr, lvs)
         total = len(slot_idx)
         self.ops_one_hop += total
-        col = self._member[:, p]
+        member = self._member
         if total == 0:
-            col[lvs] = True
+            member.set_col(lvs, p)
             return
         les = self._adj_eid[slot_idx]
         others = self._adj_other[slot_idx]
         free = self.alloc[les] == -1
         les_f = les[free]
         if len(les_f) == 0:
-            col[lvs] = True
+            member.set_col(lvs, p)
             return
         # First-occurrence slot per free edge = the slot that allocates
         # it in the sequential walk (a second occurrence means both
@@ -346,9 +566,10 @@ class AllocationProcess(Process):
         ev_targets = others[free][occ]             # other endpoint per event
 
         self.alloc[new_les] = p
-        self._ep_new[p].extend(self.eids[new_les].tolist())
-        dec = (np.bincount(self._lsrc[new_les], minlength=len(col))
-               + np.bincount(self._ldst[new_les], minlength=len(col)))
+        self._ep_new[p].append(self.eids[new_les])
+        nv = len(self.local_vertices)
+        dec = (np.bincount(self._lsrc[new_les], minlength=nv)
+               + np.bincount(self._ldst[new_les], minlength=nv))
         self.rest_degree -= dec.astype(self.rest_degree.dtype)
         self._part_loads[p] += len(new_les)
         self.unallocated -= len(new_les)
@@ -356,31 +577,42 @@ class AllocationProcess(Process):
         # Boundary events: first event per target vertex, and only for
         # targets not already replicated on p (pre-group state — see
         # docstring for why selected vertices cannot race this probe).
-        unknown = ~col[ev_targets]
+        unknown = ~member.test_col(ev_targets, p)
         cand = ev_targets[unknown]
         new_targets = cand[first_occurrence(cand)] if len(cand) else cand
-        col[lvs] = True
-        col[ev_targets] = True
+        member.set_col(lvs, p)
+        member.set_col(ev_targets, p)
 
         if len(new_targets):
             us = self.local_vertices[new_targets]
-            self._bp_new.extend((int(u), p) for u in us)
+            rows = np.empty((len(us), 2), dtype=np.int64)
+            rows[:, 0] = us
+            rows[:, 1] = p
+            self._bp_new.append(rows)
             # Batched sync fan-out: one replica-membership mask per
             # destination process instead of per-vertex set algebra.
             masks = self.placement.replica_membership(us)
-            for proc in range(self.num_partitions):
+            for proc in range(masks.shape[1]):
                 if proc == self.machine:
                     continue
                 hit = masks[:, proc]
                 if hit.any():
-                    sync_out[proc].extend(
-                        (int(u), p) for u in us[hit])
+                    sync_out[proc].append(rows[hit])
 
     # ------------------------------------------------------------------
     # Phase 2(recv)+3+4: merge syncs, two-hop allocation, local Drest.
     # ------------------------------------------------------------------
     def two_hop_and_report(self) -> None:
         received = self.receive(TAG_SYNC)
+        if self.kernel == "python":
+            self._two_hop_and_report_python(received)
+        else:
+            self._two_hop_and_report_vectorized(received)
+        self._bp_new = []
+        self._ep_new = defaultdict(list)
+        self.report_memory()
+
+    def _two_hop_and_report_python(self, received) -> None:
         merged: list[tuple[int, int]] = list(self._bp_new)
         for _, payload in received:
             for v, p in payload:
@@ -388,53 +620,98 @@ class AllocationProcess(Process):
                 if lv is None:
                     continue
                 self._ensure_partition_capacity(int(p))
-                if self._parts is not None:
-                    parts_lv = self._parts.get(lv)
-                    if parts_lv is None or p not in parts_lv:
-                        self._parts[lv].add(p)
-                        merged.append((int(v), int(p)))
-                elif not self._member[lv, p]:
-                    self._member[lv, p] = True
+                parts_lv = self._parts.get(lv)
+                if parts_lv is None or p not in parts_lv:
+                    self._parts[lv].add(p)
                     merged.append((int(v), int(p)))
 
         if self.two_hop:
-            if self.kernel == "python":
-                self._allocate_two_hop(merged)
-            else:
-                self._allocate_two_hop_vectorized(merged)
+            self._allocate_two_hop(merged)
 
         # Local Drest for each new boundary pair, reported to the
         # expansion process of that partition.
         boundary_out: dict[int, list[tuple[int, int]]] = defaultdict(list)
-        if self.kernel == "python":
-            for v, p in sorted(set(merged)):
-                lv = self._vindex[v]
-                drest = int(self.rest_degree[lv])
-                if drest > 0:
-                    boundary_out[p].append((v, drest))
-        elif merged:
-            # Batched form of the same report: unique (v, p) rows come
-            # out of np.unique lexicographically sorted — the exact
-            # iteration order of the reference loop — so per-partition
-            # payloads keep v ascending.
-            arr = np.unique(np.array(merged, dtype=np.int64), axis=0)
-            lvs = np.searchsorted(self.local_vertices, arr[:, 0])
-            drest = self.rest_degree[lvs]
-            keep = drest > 0
-            vs, ps, ds = arr[keep, 0], arr[keep, 1], drest[keep]
-            for p in np.unique(ps).tolist():
-                sel = ps == p
-                boundary_out[p] = list(zip(vs[sel].tolist(),
-                                           ds[sel].tolist()))
+        for v, p in sorted(set(merged)):
+            lv = self._vindex[v]
+            drest = int(self.rest_degree[lv])
+            if drest > 0:
+                boundary_out[p].append((v, drest))
         for p, payload in sorted(boundary_out.items()):
             self.send(("expansion", p), TAG_BOUNDARY, payload)
 
         for p, eids in sorted(self._ep_new.items()):
             self.send(("expansion", p), TAG_EDGES,
                       np.asarray(eids, dtype=np.int64))
-        self._bp_new = []
-        self._ep_new = defaultdict(list)
-        self.report_memory()
+
+    def _two_hop_and_report_vectorized(self, received) -> None:
+        merged = self._merge_sync_vectorized(received)
+
+        if self.two_hop:
+            self._allocate_two_hop_vectorized(merged)
+
+        # Batched Drest report: unique (v, p) rows come out of
+        # np.unique lexicographically sorted — the exact iteration
+        # order of the reference loop — so per-partition payloads keep
+        # v ascending.
+        if len(merged):
+            arr = np.unique(merged, axis=0)
+            lvs = np.searchsorted(self.local_vertices, arr[:, 0])
+            drest = self.rest_degree[lvs]
+            keep = drest > 0
+            rows = np.empty((int(keep.sum()), 2), dtype=np.int64)
+            rows[:, 0] = arr[keep, 0]
+            rows[:, 1] = drest[keep]
+            ps = arr[keep, 1]
+            for p in np.unique(ps).tolist():
+                self.send(("expansion", p), TAG_BOUNDARY, rows[ps == p])
+
+        for p, chunks in sorted(self._ep_new.items()):
+            self.send(("expansion", p), TAG_EDGES,
+                      np.asarray(chunks[0], dtype=np.int64)
+                      if len(chunks) == 1 else np.concatenate(chunks))
+
+    def _merge_sync_vectorized(self, received) -> np.ndarray:
+        """Merge sync payloads into the membership state; returns the
+        merged new-pair rows ``(v, p)`` in the reference walk order.
+
+        Local ``_bp_new`` rows come first and are merged
+        unconditionally (their membership bits were set during
+        one-hop); received rows are kept when the (vertex, partition)
+        bit is still unset, with first-occurrence dedup standing in for
+        the reference's set-as-you-go sequential filter (membership
+        only ever turns on, so probing pre-state plus intra-batch dedup
+        is exact).
+        """
+        chunks = list(self._bp_new)
+        nbp = sum(len(c) for c in chunks)
+        chunks.extend(pair_array(payload) for _, payload in received)
+        chunks = [c for c in chunks if len(c)]
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        arr = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        forced = np.arange(len(arr)) < nbp
+
+        # Presence filter (sync rows may name vertices not held here).
+        vs = arr[:, 0]
+        pos = np.searchsorted(self.local_vertices, vs)
+        nv = len(self.local_vertices)
+        pos_c = np.minimum(pos, max(nv - 1, 0))
+        present = (pos < nv) & (self.local_vertices[pos_c] == vs) \
+            if nv else np.zeros(len(vs), dtype=bool)
+        if not present.any():
+            return np.empty((0, 2), dtype=np.int64)
+        arr, lvs, forced = arr[present], pos[present], forced[present]
+
+        ps = arr[:, 1]
+        self._ensure_partition_capacity(int(ps.max()))
+        width = len(self._part_loads)
+        occ = first_occurrence(lvs * width + ps)
+        arr, lvs, ps, forced = arr[occ], lvs[occ], ps[occ], forced[occ]
+
+        fresh = forced | ~self._member.test_pairs(lvs, ps)
+        arr, lvs, ps = arr[fresh], lvs[fresh], ps[fresh]
+        self._member.set_pairs(lvs, ps)
+        return arr
 
     def _allocate_two_hop(self, merged: list[tuple[int, int]]) -> None:
         """Condition 5 (reference): allocate local edges whose endpoints
@@ -467,21 +744,20 @@ class AllocationProcess(Process):
                 self._allocate_local(le, pnew)
                 self._ep_new[pnew].append(int(self.eids[le]))
 
-    def _allocate_two_hop_vectorized(self, merged) -> None:
+    def _allocate_two_hop_vectorized(self, merged: np.ndarray) -> None:
         """Condition 5, flat-array form.
 
         Gathers the adjacency slices of every merged vertex in one
-        batch, computes shared-partition masks as boolean-matrix row
-        ANDs, and resolves the (rare) multi-shared edges sequentially so
-        the running least-loaded tie-break matches the reference walk
-        exactly; single-shared edges — the overwhelmingly common case —
-        are assigned in bulk.
+        batch, computes shared-partition masks as membership row ANDs
+        (boolean or packed-word, backend-dependent), and resolves the
+        (rare) multi-shared edges sequentially so the running
+        least-loaded tie-break matches the reference walk exactly;
+        single-shared edges — the overwhelmingly common case — are
+        assigned in bulk.
         """
-        if not merged:
+        if not len(merged):
             return
-        vs = np.fromiter((m[0] for m in merged), dtype=np.int64,
-                         count=len(merged))
-        lvs_all = np.searchsorted(self.local_vertices, vs)
+        lvs_all = np.searchsorted(self.local_vertices, merged[:, 0])
         # Dedup vertices, keeping first-occurrence order (the walk order).
         lvs = lvs_all[first_occurrence(lvs_all)]
 
@@ -496,8 +772,9 @@ class AllocationProcess(Process):
         free = self.alloc[les] == -1
         if not free.any():
             return
-        shared = self._member[lv_rep[free]] & self._member[lws[free]]
-        has = shared.any(axis=1)
+        member = self._member
+        shared = member.rows_and(lv_rep[free], lws[free])
+        has = member.mask_any(shared)
         if not has.any():
             return
         les_f = les[free][has]
@@ -508,8 +785,9 @@ class AllocationProcess(Process):
         cand_les = les_f[occ]
         cand_shared = shared_f[occ]
 
-        nshared = cand_shared.sum(axis=1)
-        tgt = np.where(nshared == 1, cand_shared.argmax(axis=1), -1)
+        nshared = member.mask_count(cand_shared)
+        tgt = np.where(nshared == 1,
+                       member.mask_single_partition(cand_shared), -1)
         multi = np.flatnonzero(nshared > 1)
         loads = self._part_loads
         if len(multi):
@@ -518,7 +796,7 @@ class AllocationProcess(Process):
             # min (load, id) for each contested one.  Plain-int
             # bookkeeping — per-edge numpy dispatch costs more than the
             # whole replay.
-            rows, cols = np.nonzero(cand_shared[multi])
+            rows, cols = member.mask_nonzero(cand_shared[multi])
             row_starts = np.searchsorted(rows, np.arange(len(multi) + 1))
             cols_l = cols.tolist()
             loads_l = loads.tolist()
@@ -540,13 +818,14 @@ class AllocationProcess(Process):
             loads += np.bincount(tgt, minlength=len(loads))
 
         self.alloc[cand_les] = tgt.astype(self.alloc.dtype)
-        dec = (np.bincount(self._lsrc[cand_les], minlength=len(self._member))
-               + np.bincount(self._ldst[cand_les], minlength=len(self._member)))
+        nv = len(self.local_vertices)
+        dec = (np.bincount(self._lsrc[cand_les], minlength=nv)
+               + np.bincount(self._ldst[cand_les], minlength=nv))
         self.rest_degree -= dec.astype(self.rest_degree.dtype)
         self.unallocated -= len(cand_les)
         geids = self.eids[cand_les]
         for p in np.unique(tgt).tolist():
-            self._ep_new[p].extend(geids[tgt == p].tolist())
+            self._ep_new[p].append(geids[tgt == p])
 
     def _allocate_local(self, le: int, p: int) -> None:
         self.alloc[le] = p

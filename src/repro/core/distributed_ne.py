@@ -79,11 +79,16 @@ class DistributedNE(Partitioner):
         ``extra["history"]`` — the raw series behind Figure 6-style
         plots.
     kernel:
-        ``"vectorized"`` (default) runs the allocation phases as
-        flat-array NumPy kernels; ``"python"`` runs the per-slot
-        reference loops.  Both produce bit-identical assignments,
+        ``"vectorized"`` (default) runs the allocation *and* selection
+        phases as flat-array NumPy kernels — batched one/two-hop
+        allocation, the array-backed boundary queue, batched multicast
+        fan-out, and structured ndarray payloads end-to-end;
+        ``"python"`` runs the per-slot/per-pair reference loops with
+        tuple-list payloads.  Both produce bit-identical assignments,
         counters, and message traffic (pinned by the kernel
-        equivalence tests).
+        equivalence tests).  At ``num_partitions > 64`` the vectorized
+        replica membership switches to the packed uint64-bitset
+        backend (``extra["membership"]``), still bit-identical.
     """
 
     name = "distributed_ne"
@@ -140,7 +145,8 @@ class DistributedNE(Partitioner):
         expanders = [
             cluster.add_process(ExpansionProcess(
                 k, p, limit, graph.num_edges, self.lam, self.seed,
-                placement, seed_strategy=self.seed_strategy))
+                placement, seed_strategy=self.seed_strategy,
+                kernel=self.kernel))
             for k in range(p)
         ]
         load_seconds = time.perf_counter() - t0
@@ -153,6 +159,14 @@ class DistributedNE(Partitioner):
         # process defines the phase cost (the cluster's wall clock).
         parallel_selection = 0.0
         parallel_allocation = 0.0
+        # Modeled phase costs (deterministic, kernel-independent): per
+        # iteration the slowest process's op count defines the phase —
+        # selection ops are multicast ⟨vertex, replica⟩ pairs, allocation
+        # ops are adjacency slots touched (the Theorem 3 units).
+        model_selection = 0
+        model_allocation = 0
+        prev_sel_ops = [0] * p
+        prev_alloc_ops = [0] * p
         while True:
             iterations += 1
             # Step 1: selection + multicast.
@@ -163,6 +177,10 @@ class DistributedNE(Partitioner):
                 sent += e.select_and_multicast(allocators)
                 slowest = max(slowest, time.perf_counter() - ts)
             parallel_selection += slowest
+            model_selection += max(
+                e.selection_ops - prev_sel_ops[i]
+                for i, e in enumerate(expanders))
+            prev_sel_ops = [e.selection_ops for e in expanders]
             cluster.barrier()  # Step 2
 
             ta = time.perf_counter()
@@ -177,6 +195,11 @@ class DistributedNE(Partitioner):
                 a.two_hop_and_report()
                 slowest = max(slowest, time.perf_counter() - ts)
             parallel_allocation += slowest
+            model_allocation += max(
+                a.ops_one_hop + a.ops_two_hop - prev_alloc_ops[i]
+                for i, a in enumerate(allocators))
+            prev_alloc_ops = [a.ops_one_hop + a.ops_two_hop
+                              for a in allocators]
             allocation_seconds += time.perf_counter() - ta
             cluster.barrier()          # Step 5
 
@@ -212,6 +235,7 @@ class DistributedNE(Partitioner):
         extra = {
             "alpha": self.alpha,
             "kernel": self.kernel,
+            "membership": allocators[0].membership_kind,
             "lambda": self.lam,
             "two_hop": self.two_hop,
             "placement": self.placement_kind,
@@ -227,6 +251,14 @@ class DistributedNE(Partitioner):
             "selection_share": (
                 parallel_selection / (parallel_selection + parallel_allocation)
                 if parallel_selection + parallel_allocation > 0 else 0.0),
+            # Deterministic cost-model share (per-iteration maxima of
+            # multicast pairs vs adjacency slots): the noise-free form
+            # of the §7.4 trend, identical under both kernels.
+            "model_selection_ops": model_selection,
+            "model_allocation_ops": model_allocation,
+            "selection_share_model": (
+                model_selection / (model_selection + model_allocation)
+                if model_selection + model_allocation > 0 else 0.0),
             "random_seed_requests": sum(e.random_seed_requests
                                         for e in expanders),
             "remote_seed_requests": sum(e.remote_seed_requests
@@ -261,8 +293,34 @@ class DistributedNE(Partitioner):
         if len(left):
             loads = np.bincount(assignment[assignment >= 0],
                                 minlength=self.num_partitions)
-            for eid in left:
-                target = int(np.argmin(loads))
-                assignment[eid] = target
-                loads[target] += 1
+            assignment[left] = _water_fill_targets(loads, len(left))
         return assignment
+
+
+def _water_fill_targets(loads: np.ndarray, count: int) -> np.ndarray:
+    """Batch form of the sequential least-loaded sweep.
+
+    The reference loop repeatedly takes ``argmin(loads)`` (ties to the
+    lowest partition id) and increments it; that sequence is exactly
+    all (level, partition) slots with ``level >= loads[partition]``
+    enumerated in ascending (level, partition) order.  Every level at
+    or above ``loads.min()`` fills at least one slot, so enumerating
+    the band in bounded chunks terminates after ~``count`` levels
+    total while keeping the transient mask O(chunk * |P|) — the
+    replaced loop's O(|P|) memory class, at C speed.
+    """
+    num = len(loads)
+    out = np.empty(count, dtype=np.int64)
+    parts = np.arange(num)
+    level = int(loads.min())
+    band = max(1, (1 << 20) // max(num, 1))
+    filled = 0
+    while filled < count:
+        levels = np.arange(level, level + band)
+        mask = levels[:, None] >= loads[None, :]
+        targets = np.broadcast_to(parts, mask.shape)[mask]
+        take = min(len(targets), count - filled)
+        out[filled:filled + take] = targets[:take]
+        filled += take
+        level += band
+    return out

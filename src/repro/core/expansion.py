@@ -20,6 +20,35 @@ One expansion process per partition.  It owns the partition's boundary
 Boundary scores are *entry-time* scores, exactly as in the paper: a
 vertex keeps the Drest it had when it entered the boundary; popping a
 since-fully-allocated vertex simply allocates nothing that iteration.
+
+Kernel architecture
+-------------------
+§7.4 of the paper shows the vertex-selection phase growing from <1% of
+wall clock at 4 machines to 30.3% at 256 — at scale-out the selection
+plane is the bottleneck, so it ships in the same two interchangeable
+kernels as the allocation plane:
+
+* ``kernel="vectorized"`` (default) — the boundary is a flat-array
+  priority structure (:class:`BoundaryQueue`: parallel ``drest`` /
+  ``vertex`` int64 arrays plus a boolean membership mask, batched
+  ``insert_many`` and ``pop_k_min``), the multicast fan-out is one
+  batched ``replica_membership`` call sliced per destination process,
+  the boundary fold is a concatenated-payload ``np.unique`` +
+  scatter-add, and every message payload is a structured ``(k, 2)``
+  int64 ndarray (see the payload contract in
+  :mod:`repro.cluster.runtime`) — no Python tuples ever cross the
+  simulated wire.
+* ``kernel="python"`` — the per-pair reference: a heapq/set boundary
+  (:class:`HeapqBoundaryQueue`), a per-vertex ``replica_processes``
+  fan-out into tuple lists, and a dict-accumulator boundary fold.  Kept
+  as executable documentation of Algorithm 4 and for the golden
+  equivalence tests.
+
+Both kernels produce identical selections, identical message payloads
+byte-for-byte under the accounting model (a ``(k, 2)`` int64 array and
+a list of ``k`` int pairs both size to ``16k`` bytes), and identical
+boundary/memory accounting — pinned by
+``tests/test_kernel_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -30,19 +59,22 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.cluster.runtime import Process
+from repro.cluster.runtime import Process, pair_array
 from repro.core.allocation import TAG_BOUNDARY, TAG_EDGES, TAG_SELECT
+from repro.graph.csr import first_occurrence
+from repro.kernels import validate_kernel
 
-__all__ = ["ExpansionProcess", "BoundaryQueue"]
+__all__ = ["ExpansionProcess", "BoundaryQueue", "HeapqBoundaryQueue"]
 
 
-class BoundaryQueue:
-    """Priority queue of ⟨Drest, vertex⟩ with membership tracking.
+class HeapqBoundaryQueue:
+    """Reference priority queue of ⟨Drest, vertex⟩ (heapq + set).
 
     ``pop_k_min`` implements ``popK-MinDrestVertices`` from
     Algorithm 4.  A vertex is never queued twice (re-insertions of an
     already-boundary vertex are dropped, set semantics per the paper's
-    ``B_p``).
+    ``B_p``).  This is the per-pair Python implementation the
+    flat-array :class:`BoundaryQueue` is pinned against.
     """
 
     def __init__(self):
@@ -67,13 +99,125 @@ class BoundaryQueue:
         return out
 
 
+class BoundaryQueue:
+    """Flat-array priority queue of ⟨Drest, vertex⟩ with membership mask.
+
+    The storage is two parallel int64 arrays (``drest`` and ``vertex``
+    entries, grown geometrically) plus a boolean membership mask indexed
+    by vertex id.  Because a vertex is a member at most once, every
+    stored entry is live — there are no stale heap entries to skip — so
+    ``pop_k_min`` can *select* the k smallest ⟨drest, vertex⟩ keys in
+    one vectorized partition-select (``np.partition`` on drest, then a
+    lexsort over the boundary candidates) instead of popping one node at
+    a time.  The observable pop order is exactly the heapq reference's:
+    ascending ⟨drest, vertex⟩, ties broken by vertex id, entry-time
+    scores kept (pinned by the kernel equivalence tests).
+
+    ``insert_many`` batch-inserts with set semantics: vertices already
+    in the queue — or appearing earlier in the same batch — are dropped.
+    """
+
+    def __init__(self, num_vertices: int | None = None):
+        cap = 16
+        self._drest = np.empty(cap, dtype=np.int64)
+        self._vertex = np.empty(cap, dtype=np.int64)
+        self._size = 0
+        self._member = np.zeros(int(num_vertices or 0), dtype=bool)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- capacity ------------------------------------------------------
+    def _grow_member(self, max_vertex: int) -> None:
+        if max_vertex >= len(self._member):
+            grown = np.zeros(max(2 * len(self._member), max_vertex + 1),
+                             dtype=bool)
+            grown[:len(self._member)] = self._member
+            self._member = grown
+
+    def _grow_heap(self, need: int) -> None:
+        if need > len(self._drest):
+            cap = max(2 * len(self._drest), need)
+            self._drest = np.concatenate(
+                [self._drest[:self._size],
+                 np.empty(cap - self._size, dtype=np.int64)])
+            self._vertex = np.concatenate(
+                [self._vertex[:self._size],
+                 np.empty(cap - self._size, dtype=np.int64)])
+
+    # -- insertion -----------------------------------------------------
+    def insert(self, vertex: int, drest: int) -> None:
+        self.insert_many(np.array([vertex], dtype=np.int64),
+                         np.array([drest], dtype=np.int64))
+
+    def insert_many(self, vertices: np.ndarray, drests: np.ndarray) -> None:
+        """Batch insert; non-fresh vertices (already members, or second
+        occurrences within the batch) are dropped, keeping the first
+        score — exactly a loop of reference ``insert`` calls."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        drests = np.asarray(drests, dtype=np.int64)
+        if not len(vertices):
+            return
+        self._grow_member(int(vertices.max()))
+        fresh = np.flatnonzero(~self._member[vertices])
+        if not len(fresh):
+            return
+        vs = vertices[fresh]
+        occ = first_occurrence(vs)
+        if len(occ) != len(vs):          # intra-batch duplicates
+            fresh = fresh[occ]
+            vs = vertices[fresh]
+        ds = drests[fresh]
+        self._member[vs] = True
+        need = self._size + len(vs)
+        self._grow_heap(need)
+        self._drest[self._size:need] = ds
+        self._vertex[self._size:need] = vs
+        self._size = need
+
+    # -- selection -----------------------------------------------------
+    def pop_k_min_array(self, k: int) -> np.ndarray:
+        """Pop the ``k`` minimum-⟨drest, vertex⟩ members as an ndarray."""
+        size = self._size
+        if size == 0 or k <= 0:
+            return np.empty(0, dtype=np.int64)
+        d = self._drest[:size]
+        v = self._vertex[:size]
+        if k >= size:
+            out = v[np.lexsort((v, d))].copy()
+            self._member[v] = False
+            self._size = 0
+            return out
+        # Candidates: every entry with drest <= the k-th smallest drest
+        # (a superset covering boundary ties), then an exact lexsort
+        # over just the candidates.
+        kth = np.partition(d, k - 1)[k - 1]
+        cand = np.flatnonzero(d <= kth)
+        take = cand[np.lexsort((v[cand], d[cand]))[:k]]
+        out = v[take].copy()
+        self._member[out] = False
+        keep = np.ones(size, dtype=bool)
+        keep[take] = False
+        nk = size - k
+        self._drest[:nk] = d[keep]
+        self._vertex[:nk] = v[keep]
+        self._size = nk
+        return out
+
+    def pop_k_min(self, k: int) -> list[int]:
+        """List form of :meth:`pop_k_min_array` (reference-compatible)."""
+        return self.pop_k_min_array(k).tolist()
+
+
 class ExpansionProcess(Process):
     """Drives the expansion of one partition."""
 
     def __init__(self, partition: int, num_partitions: int,
                  limit: int, total_edges: int, lam: float,
-                 seed: int, placement, seed_strategy: str = "random"):
+                 seed: int, placement, seed_strategy: str = "random",
+                 kernel: str = "vectorized"):
         super().__init__(("expansion", partition))
+        validate_kernel(kernel)
         self.partition = partition
         self.num_partitions = num_partitions
         self.limit = limit                      # alpha * |E| / |P|
@@ -81,15 +225,22 @@ class ExpansionProcess(Process):
         self.lam = lam
         self.placement = placement
         self.seed_strategy = seed_strategy
+        self.kernel = kernel
         self.rng = np.random.default_rng((seed, partition))
 
-        self.boundary = BoundaryQueue()
+        self.boundary = (BoundaryQueue() if kernel == "vectorized"
+                         else HeapqBoundaryQueue())
         self.edge_count = 0                     # |E_p|
         self.edge_ids: list[np.ndarray] = []    # received edge batches
         self.finished = False
         self.random_seed_requests = 0
         self.remote_seed_requests = 0
         self.selection_seconds = 0.0            # Fig 10(j) phase share
+        #: modeled selection work: one op per ⟨selected vertex, replica
+        #: process⟩ multicast pair — the per-machine quantity whose
+        #: O(sqrt |P|) fan-out growth drives §7.4's share trend.
+        #: Kernel-independent (both kernels hit identical replica sets).
+        self.selection_ops = 0
 
     # ------------------------------------------------------------------
     # Iteration phase A: select vertices and multicast to allocators.
@@ -98,6 +249,13 @@ class ExpansionProcess(Process):
         """Run the selection step.  Returns how many vertices were sent."""
         if self.finished:
             return 0
+        if self.kernel == "python":
+            return self._select_and_multicast_python(alloc_processes)
+        return self._select_and_multicast_vectorized(alloc_processes)
+
+    def _select_and_multicast_python(self, alloc_processes) -> int:
+        """Reference selection: heapq pops, per-vertex replica fan-out
+        into per-process tuple lists."""
         start = time.perf_counter()
         selected: list[int] = []
         if len(self.boundary):
@@ -113,10 +271,46 @@ class ExpansionProcess(Process):
 
         fanout: dict[int, list[tuple[int, int]]] = defaultdict(list)
         for v in selected:
-            for proc in self.placement.replica_processes(v):
+            procs = self.placement.replica_processes(v)
+            self.selection_ops += len(procs)
+            for proc in procs:
                 fanout[proc].append((v, self.partition))
         for proc, payload in sorted(fanout.items()):
             self.send(("alloc", proc), TAG_SELECT, payload)
+        return len(selected)
+
+    def _select_and_multicast_vectorized(self, alloc_processes) -> int:
+        """Flat-array selection: one partition-select pop, one batched
+        ``replica_membership`` call, boolean-mask payload slicing."""
+        start = time.perf_counter()
+        if len(self.boundary):
+            k = max(1, int(np.ceil(self.lam * len(self.boundary))))
+            selected = self.boundary.pop_k_min_array(k)
+        else:
+            v = self._random_seed(alloc_processes)
+            selected = (np.empty(0, dtype=np.int64) if v is None
+                        else np.array([v], dtype=np.int64))
+        self.selection_seconds += time.perf_counter() - start
+        if not len(selected):
+            return 0
+
+        # Batched multicast: one membership matrix over every selected
+        # vertex; one nonzero pass yields the (process, vertex) hits
+        # grouped by ascending process with selection order preserved
+        # inside each group — the reference's per-vertex loop output,
+        # without touching processes that receive nothing.
+        masks = self.placement.replica_membership(selected)
+        payload = np.empty((len(selected), 2), dtype=np.int64)
+        payload[:, 0] = selected
+        payload[:, 1] = self.partition
+        pidx, vidx = np.nonzero(masks.T)
+        self.selection_ops += len(pidx)
+        starts = np.flatnonzero(np.concatenate(
+            ([True], pidx[1:] != pidx[:-1])))
+        ends = np.concatenate((starts[1:], [len(pidx)]))
+        for s, t in zip(starts.tolist(), ends.tolist()):
+            self.send(("alloc", int(pidx[s])), TAG_SELECT,
+                      payload[vidx[s:t]])
         return len(selected)
 
     def _random_seed(self, alloc_processes) -> int | None:
@@ -150,12 +344,28 @@ class ExpansionProcess(Process):
     # Iteration phase B: fold in allocation results.
     # ------------------------------------------------------------------
     def update_state(self) -> None:
-        drest_sums: dict[int, int] = defaultdict(int)
-        for _, payload in self.receive(TAG_BOUNDARY):
-            for v, local_drest in payload:
-                drest_sums[int(v)] += int(local_drest)
-        for v in sorted(drest_sums):
-            self.boundary.insert(v, drest_sums[v])
+        if self.kernel == "python":
+            drest_sums: dict[int, int] = defaultdict(int)
+            for _, payload in self.receive(TAG_BOUNDARY):
+                for v, local_drest in payload:
+                    drest_sums[int(v)] += int(local_drest)
+            for v in sorted(drest_sums):
+                self.boundary.insert(v, drest_sums[v])
+        else:
+            # Batched boundary fold: concatenate every ⟨v, drest⟩
+            # payload, sum per-process local scores into global Drest
+            # with a unique/scatter-add, and batch-insert in ascending
+            # vertex order (the reference's sorted-dict iteration).
+            chunks = [pair_array(payload)
+                      for _, payload in self.receive(TAG_BOUNDARY)]
+            if chunks:
+                arr = (chunks[0] if len(chunks) == 1
+                       else np.concatenate(chunks))
+                if len(arr):
+                    vs, inverse = np.unique(arr[:, 0], return_inverse=True)
+                    sums = np.zeros(len(vs), dtype=np.int64)
+                    np.add.at(sums, inverse, arr[:, 1])
+                    self.boundary.insert_many(vs, sums)
 
         for _, payload in self.receive(TAG_EDGES):
             if len(payload):

@@ -3,8 +3,12 @@
 The partitioning/engine hot paths each ship a flat-array NumPy kernel
 (``"vectorized"``, the default) and a per-slot reference kernel
 (``"python"``), pinned bit-identical by the kernel equivalence tests.
-This module is the single home of the valid names so constructors all
-fail fast with the same message.
+The flag covers both planes of Distributed NE — the allocation phases
+(``core/allocation.py``) and the selection/expansion plane
+(``core/expansion.py``: boundary queue, multicast fan-out, boundary
+fold) — plus NE/SNE expansion and the GAS engine gathers.  This module
+is the single home of the valid names so constructors all fail fast
+with the same message.
 """
 
 from __future__ import annotations

@@ -46,14 +46,20 @@ class SheepPartitioner(Partitioner):
         rank = _min_degree_order(graph)
         order = np.argsort(rank)  # order[i] = vertex with rank i
 
-        # Parent = lowest-ranked neighbour with higher rank.
+        # Parent = lowest-ranked neighbour with higher rank.  Ranks are
+        # a permutation, so the row-wise minimum over masked neighbour
+        # ranks picks a unique vertex; empty and all-lower rows stay -1.
+        nbr_rank = rank[graph.indices]
+        own_rank = np.repeat(rank, graph.degrees())
+        cand = np.where(nbr_rank > own_rank, nbr_rank, n)   # n = +inf
         parent = np.full(n, -1, dtype=np.int64)
-        for v in range(n):
-            best = -1
-            for u in graph.neighbors(v):
-                if rank[u] > rank[v] and (best == -1 or rank[u] < rank[best]):
-                    best = int(u)
-            parent[v] = best
+        rows = np.flatnonzero(np.diff(graph.indptr) > 0)
+        if len(rows):
+            # Empty rows occupy no slots, so consecutive non-empty row
+            # starts delimit exactly the per-row segments.
+            mins = np.minimum.reduceat(cand, graph.indptr[rows])
+            valid = mins < n
+            parent[rows[valid]] = order[mins[valid]]
 
         # Edge -> its lower-ranked endpoint (the eliminating node).
         u_col, v_col = graph.edges[:, 0], graph.edges[:, 1]
@@ -66,33 +72,51 @@ class SheepPartitioner(Partitioner):
 
 
 def _min_degree_order(graph: CSRGraph) -> np.ndarray:
-    """Approximate minimum-degree elimination ranks (lazy heap).
+    """Approximate minimum-degree elimination ranks (flat-array heap).
 
     Degrees are decremented as neighbours get eliminated, without
     fill-in edges — the same approximation Sheep's streaming
     translation makes.
+
+    The elimination is inherently sequential (each pop depends on the
+    decrements of every earlier one), but all per-vertex state lives in
+    flat int64 arrays and the heap holds *encoded* keys
+    ``degree * n + vertex`` — plain machine ints, whose ordering equals
+    the reference's lexicographic ⟨degree, vertex⟩ tuples (ties to the
+    lowest id) without allocating a tuple per entry.  Neighbour
+    filtering, degree decrements, and key construction per elimination
+    are single vectorized operations; canonical edges are deduplicated,
+    so each surviving neighbour is decremented exactly once per batch,
+    matching the reference's per-slot walk.
     """
     n = graph.num_vertices
-    degree = graph.degrees().astype(np.int64).copy()
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    degree = graph.degrees().astype(np.int64)
     eliminated = np.zeros(n, dtype=bool)
     rank = np.zeros(n, dtype=np.int64)
-    heap = [(int(degree[v]), v) for v in range(n)]
+    indptr, indices = graph.indptr, graph.indices
+    nn = np.int64(n)
+    heap = (degree * nn + np.arange(n, dtype=np.int64)).tolist()
     heapq.heapify(heap)
     next_rank = 0
     while heap:
-        d, v = heapq.heappop(heap)
+        key = heapq.heappop(heap)
+        v = key % n
         if eliminated[v]:
             continue
-        if d != degree[v]:
-            heapq.heappush(heap, (int(degree[v]), v))
+        if key // n != degree[v]:   # stale entry: requeue at the live key
+            heapq.heappush(heap, int(degree[v]) * n + v)
             continue
         eliminated[v] = True
         rank[v] = next_rank
         next_rank += 1
-        for u in graph.neighbors(v):
-            if not eliminated[u]:
-                degree[u] -= 1
-                heapq.heappush(heap, (int(degree[u]), int(u)))
+        nbrs = indices[indptr[v]:indptr[v + 1]]
+        alive = nbrs[~eliminated[nbrs]]
+        if len(alive):
+            degree[alive] -= 1
+            for k in (degree[alive] * nn + alive).tolist():
+                heapq.heappush(heap, k)
     return rank
 
 

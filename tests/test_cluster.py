@@ -173,3 +173,37 @@ class TestSimulatedCluster:
     def test_processes_sorted(self):
         cluster, a, b = self._pair()
         assert cluster.processes() == [a, b]
+
+    @pytest.mark.parametrize("src,dst", [
+        (("alloc", 0), ("alloc", 1)),          # cross-machine tuples
+        (("expansion", 2), ("alloc", 2)),      # co-located tuples
+        ("a", "b"),                            # plain ids
+        ("solo", "solo"),                      # self-send
+    ])
+    @pytest.mark.parametrize("payload", [
+        None, 7, [(1, 2), (3, 4)],
+        np.arange(6, dtype=np.int64).reshape(3, 2),
+    ])
+    def test_send_inline_matches_reference_accounting(self, src, dst,
+                                                      payload):
+        """_send's inlined fast path must equal the composition of
+        _same_machine + payload_nbytes + record_send/record_receive
+        (the API everything else uses) for every pid/payload shape."""
+        from repro.cluster.accounting import ProcessStats, payload_nbytes
+
+        cluster = SimulatedCluster()
+        sp = cluster.add_process(Process(src))
+        if dst != src:
+            cluster.add_process(Process(dst))
+        sp.send(dst, "t", payload)
+
+        ref_send, ref_recv = ProcessStats(), ProcessStats()
+        nbytes = 0 if _same_machine(src, dst) else payload_nbytes(payload)
+        ref_send.record_send(nbytes)
+        ref_recv.record_receive(nbytes)
+        got_s = cluster.stats.stats_for(src)
+        got_r = cluster.stats.stats_for(dst)
+        assert (got_s.messages_sent, got_s.bytes_sent) == \
+            (ref_send.messages_sent, ref_send.bytes_sent)
+        assert (got_r.messages_received, got_r.bytes_received) == \
+            (ref_recv.messages_received, ref_recv.bytes_received)

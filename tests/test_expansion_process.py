@@ -3,47 +3,85 @@
 import numpy as np
 import pytest
 
-from repro.core.expansion import BoundaryQueue
+from repro.core.expansion import BoundaryQueue, HeapqBoundaryQueue
+
+
+@pytest.fixture(params=[BoundaryQueue, HeapqBoundaryQueue])
+def queue_cls(request):
+    """Both boundary-queue implementations share one contract."""
+    return request.param
 
 
 class TestBoundaryQueue:
-    def test_pop_min_order(self):
-        q = BoundaryQueue()
+    def test_pop_min_order(self, queue_cls):
+        q = queue_cls()
         q.insert(10, 5)
         q.insert(20, 1)
         q.insert(30, 3)
         assert q.pop_k_min(3) == [20, 30, 10]
 
-    def test_pop_k_respects_k(self):
-        q = BoundaryQueue()
+    def test_pop_k_respects_k(self, queue_cls):
+        q = queue_cls()
         for v, d in [(1, 4), (2, 2), (3, 9)]:
             q.insert(v, d)
         assert q.pop_k_min(2) == [2, 1]
         assert len(q) == 1
 
-    def test_duplicate_insert_ignored(self):
-        q = BoundaryQueue()
+    def test_duplicate_insert_ignored(self, queue_cls):
+        q = queue_cls()
         q.insert(7, 3)
         q.insert(7, 1)  # second insert dropped (set semantics)
         assert len(q) == 1
         assert q.pop_k_min(5) == [7]
 
-    def test_pop_from_empty(self):
-        assert BoundaryQueue().pop_k_min(3) == []
+    def test_pop_from_empty(self, queue_cls):
+        assert queue_cls().pop_k_min(3) == []
 
-    def test_len_tracks_members(self):
-        q = BoundaryQueue()
+    def test_len_tracks_members(self, queue_cls):
+        q = queue_cls()
         q.insert(1, 1)
         q.insert(2, 2)
         assert len(q) == 2
         q.pop_k_min(1)
         assert len(q) == 1
 
-    def test_tie_breaks_by_vertex_id(self):
-        q = BoundaryQueue()
+    def test_tie_breaks_by_vertex_id(self, queue_cls):
+        q = queue_cls()
         q.insert(9, 2)
         q.insert(3, 2)
         assert q.pop_k_min(2) == [3, 9]
+
+
+class TestArrayBoundaryQueue:
+    """Batched API specific to the flat-array implementation."""
+
+    def test_insert_many_then_pop_array(self):
+        q = BoundaryQueue()
+        q.insert_many(np.array([5, 1, 9]), np.array([2, 7, 2]))
+        out = q.pop_k_min_array(2)
+        assert out.dtype == np.int64
+        assert out.tolist() == [5, 9]
+        assert len(q) == 1
+
+    def test_insert_many_respects_existing_members(self):
+        q = BoundaryQueue()
+        q.insert(4, 1)
+        q.insert_many(np.array([4, 8]), np.array([99, 3]))
+        assert len(q) == 2
+        assert q.pop_k_min(2) == [4, 8]  # 4 kept its original score
+
+    def test_membership_mask_grows_with_vertex_ids(self):
+        q = BoundaryQueue()
+        q.insert(10_000, 1)
+        q.insert_many(np.array([999_999]), np.array([0]))
+        assert len(q) == 2
+        assert q.pop_k_min(2) == [999_999, 10_000]
+
+    def test_pop_empty_array(self):
+        q = BoundaryQueue()
+        assert q.pop_k_min_array(3).tolist() == []
+        q.insert(1, 1)
+        assert q.pop_k_min_array(0).tolist() == []
 
 
 class TestMultiExpansionK:

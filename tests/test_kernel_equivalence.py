@@ -12,6 +12,12 @@ and seeds:
 * the GAS engine's ``gather_sum`` / ``gather_min`` return bit-identical
   vectors and identical communication accounting;
 * the bulk all-gather accounting matches the per-message loop exactly;
+* the flat-array ``BoundaryQueue`` reproduces the heapq reference's
+  exact pop order, membership semantics, and re-insert drops;
+* the packed uint64-bitset replica membership matches the boolean
+  matrix backend bit-for-bit across |P| ∈ {3, 64, 65, 256}, and a full
+  DNE run at |P| > 64 (where the packed backend engages) stays
+  bit-identical to the reference kernel;
 * the reference allocation path holds no phantom (empty) replica sets
   — the ``defaultdict`` probe leak stays fixed.
 """
@@ -21,9 +27,12 @@ import pytest
 
 from repro.apps.engine import AppRunStats, DistributedGraphEngine
 from repro.cluster.runtime import Process, SimulatedCluster, _same_machine
-from repro.core.allocation import TAG_SELECT, AllocationProcess
+from repro.core.allocation import (TAG_SELECT, AllocationProcess,
+                                   DenseMembership, PackedMembership)
 from repro.core.distributed_ne import DistributedNE
-from repro.core.hash2d import Hash2DPlacement
+from repro.core.expansion import BoundaryQueue, HeapqBoundaryQueue
+from repro.core.hash2d import (Hash1DPlacement, Hash2DPlacement,
+                               unpack_bool_matrix)
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import ring_graph, rmat_edges
 from repro.partitioners import PARTITIONER_REGISTRY
@@ -82,6 +91,172 @@ class TestPartitionerEquivalence:
                              kernel="python").partition(graph)
         assert np.array_equal(vec.assignment, ref.assignment)
         assert vec.replication_factor() == ref.replication_factor()
+
+
+class TestBoundaryQueueEquivalence:
+    """Array-heap BoundaryQueue == heapq reference, op for op."""
+
+    def test_random_op_sequences_match(self):
+        for trial in range(25):
+            rng = np.random.default_rng(trial)
+            arr, ref = BoundaryQueue(), HeapqBoundaryQueue()
+            for _ in range(80):
+                if rng.random() < 0.6:
+                    n = int(rng.integers(1, 9))
+                    vs = rng.integers(0, 50, n)
+                    ds = rng.integers(0, 12, n)
+                    arr.insert_many(vs, ds)
+                    for v, d in zip(vs.tolist(), ds.tolist()):
+                        ref.insert(v, d)
+                else:
+                    k = int(rng.integers(1, 12))
+                    assert arr.pop_k_min(k) == ref.pop_k_min(k)
+                assert len(arr) == len(ref)
+            # Drain both completely: residual contents must match too.
+            assert arr.pop_k_min(10 ** 6) == ref.pop_k_min(10 ** 6)
+
+    def test_reinsert_after_pop_takes_new_score(self):
+        q = BoundaryQueue()
+        q.insert(7, 9)
+        assert q.pop_k_min(1) == [7]
+        q.insert(7, 1)          # membership cleared by the pop
+        q.insert(3, 5)
+        assert q.pop_k_min(2) == [7, 3]
+
+    def test_insert_many_keeps_first_score_within_batch(self):
+        q = BoundaryQueue()
+        q.insert_many(np.array([4, 4, 9]), np.array([8, 1, 5]))
+        assert len(q) == 2
+        assert q.pop_k_min(2) == [9, 4]  # 4 kept Drest 8, not 1
+
+    def test_entry_time_scores_kept(self):
+        for cls in (BoundaryQueue, HeapqBoundaryQueue):
+            q = cls()
+            q.insert(5, 10)
+            q.insert(5, 0)       # dropped: already a member
+            q.insert(6, 3)
+            assert q.pop_k_min(2) == [6, 5]
+
+
+@pytest.mark.parametrize("partitions", [3, 64, 65, 256])
+class TestPackedMembership:
+    """uint64-bitset membership == boolean matrix, property-tested."""
+
+    def test_placement_packed_matches_bool(self, partitions):
+        rng = np.random.default_rng(partitions)
+        vs = rng.integers(0, 10_000, 200)
+        for placement in (Hash2DPlacement(partitions, seed=3),
+                          Hash1DPlacement(partitions, seed=3)):
+            dense = placement.replica_membership(vs)
+            words = placement.replica_membership_words(vs)
+            assert words.shape == (len(vs), (partitions + 63) // 64)
+            assert np.array_equal(
+                unpack_bool_matrix(words, partitions), dense)
+
+    def test_backends_agree_on_random_updates(self, partitions):
+        rng = np.random.default_rng(partitions + 1)
+        nv = 40
+        dense = DenseMembership(nv, partitions)
+        packed = PackedMembership(nv, partitions)
+        for _ in range(30):
+            op = rng.integers(3)
+            if op == 0:
+                idx = rng.integers(0, nv, rng.integers(1, 8))
+                p = int(rng.integers(partitions))
+                assert np.array_equal(dense.test_col(idx, p),
+                                      packed.test_col(idx, p))
+                dense.set_col(idx, p)
+                packed.set_col(idx, p)
+            elif op == 1:
+                k = int(rng.integers(1, 8))
+                idx = rng.integers(0, nv, k)
+                ps = rng.integers(0, partitions, k)
+                assert np.array_equal(dense.test_pairs(idx, ps),
+                                      packed.test_pairs(idx, ps))
+                dense.set_pairs(idx, ps)
+                packed.set_pairs(idx, ps)
+            else:
+                k = int(rng.integers(1, 8))
+                a = rng.integers(0, nv, k)
+                b = rng.integers(0, nv, k)
+                md = dense.rows_and(a, b)
+                mp = packed.rows_and(a, b)
+                assert np.array_equal(dense.mask_any(md),
+                                      packed.mask_any(mp))
+                assert np.array_equal(dense.mask_count(md),
+                                      packed.mask_count(mp))
+                single = dense.mask_count(md) == 1
+                if single.any():
+                    assert np.array_equal(
+                        dense.mask_single_partition(md)[single],
+                        packed.mask_single_partition(mp)[single])
+                dr, dc = dense.mask_nonzero(md)
+                pr, pc = packed.mask_nonzero(mp)
+                assert np.array_equal(dr, pr) and np.array_equal(dc, pc)
+            assert dense.entries() == packed.entries()
+        dnz, pnz = dense.nonzero(), packed.nonzero()
+        assert np.array_equal(dnz[0], pnz[0])
+        assert np.array_equal(dnz[1], pnz[1])
+        if partitions > 64:
+            # The point of the packed layout: 8 partitions per byte
+            # instead of 1 (worthwhile only beyond the auto threshold).
+            assert packed.nbytes() * 8 <= dense.nbytes() + 64 * nv
+
+    def test_allocation_backends_bit_identical(self, partitions):
+        """Same selections through dense-forced and packed-forced
+        allocation processes: identical state and messages."""
+        graph = CSRGraph(rmat_edges(8, 6, seed=11))
+        results = {}
+        for membership in ("dense", "packed"):
+            cluster = SimulatedCluster()
+            placement = Hash2DPlacement(1, seed=0)
+            alloc = cluster.add_process(AllocationProcess(
+                0, graph, np.arange(graph.num_edges), placement,
+                membership=membership))
+            driver = cluster.add_process(Process(("expansion", 0)))
+            for p in range(1, min(partitions, 4)):
+                cluster.add_process(Process(("expansion", p)))
+            rng = np.random.default_rng(0)
+            for _ in range(3):
+                sel = np.column_stack(
+                    [rng.integers(0, graph.num_vertices, 12),
+                     rng.integers(0, min(partitions, 4), 12)]
+                ).astype(np.int64)
+                driver.send(alloc.pid, TAG_SELECT, sel)
+                cluster.barrier()
+                alloc.one_hop_and_sync()
+                cluster.barrier()
+                alloc.two_hop_and_report()
+                cluster.barrier()
+            assert alloc.membership_kind == membership
+            results[membership] = (
+                alloc.alloc.copy(), alloc.rest_degree.copy(),
+                alloc.ops_one_hop, alloc.ops_two_hop,
+                dict(alloc.vertex_parts),
+                cluster.stats.summary())
+        for a, b in zip(results["dense"], results["packed"]):
+            if isinstance(a, np.ndarray):
+                assert np.array_equal(a, b)
+            else:
+                assert a == b
+
+
+class TestPackedDNEEquivalence:
+    """Full DNE at |P| > 64: the auto-selected packed backend stays
+    bit-identical to the python reference (assignments, counters,
+    message/byte/memory totals — including the membership_words
+    resident entry of the Fig-9 model)."""
+
+    def test_dne_at_65_partitions(self):
+        graph = CSRGraph(rmat_edges(9, 6, seed=7))
+        vec = DistributedNE(65, seed=0).partition(graph)
+        ref = DistributedNE(65, seed=0, kernel="python").partition(graph)
+        assert vec.extra["membership"] == "packed"
+        assert ref.extra["membership"] == "dict"
+        assert np.array_equal(vec.assignment, ref.assignment)
+        assert vec.extra["ops_one_hop"] == ref.extra["ops_one_hop"]
+        assert vec.extra["ops_two_hop"] == ref.extra["ops_two_hop"]
+        assert vec.extra["cluster"] == ref.extra["cluster"]
 
 
 class TestEngineEquivalence:

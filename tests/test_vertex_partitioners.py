@@ -119,6 +119,56 @@ class TestSheep:
         rank = _min_degree_order(medium_rmat)
         assert sorted(rank.tolist()) == list(range(medium_rmat.num_vertices))
 
+    @staticmethod
+    def _min_degree_order_reference(graph):
+        """The pre-vectorization tuple-heap implementation, kept
+        verbatim as the before/after pin for the flat-array version."""
+        import heapq
+        n = graph.num_vertices
+        degree = graph.degrees().astype(np.int64).copy()
+        eliminated = np.zeros(n, dtype=bool)
+        rank = np.zeros(n, dtype=np.int64)
+        heap = [(int(degree[v]), v) for v in range(n)]
+        heapq.heapify(heap)
+        next_rank = 0
+        while heap:
+            d, v = heapq.heappop(heap)
+            if eliminated[v]:
+                continue
+            if d != degree[v]:
+                heapq.heappush(heap, (int(degree[v]), v))
+                continue
+            eliminated[v] = True
+            rank[v] = next_rank
+            next_rank += 1
+            for u in graph.neighbors(v):
+                if not eliminated[u]:
+                    degree[u] -= 1
+                    heapq.heappush(heap, (int(degree[u]), int(u)))
+        return rank
+
+    def test_min_degree_order_pins_tuple_heap_reference(
+            self, medium_rmat, small_rmat, star, path4):
+        """The encoded-key flat-array heap must reproduce the original
+        ⟨degree, vertex⟩ tuple-heap elimination order exactly."""
+        for graph in (medium_rmat, small_rmat, star, path4,
+                      CSRGraph(ring_graph(37))):
+            assert np.array_equal(_min_degree_order(graph),
+                                  self._min_degree_order_reference(graph))
+
+    def test_assignments_pinned_before_after(self, medium_rmat):
+        """Full-partitioner pin: same assignments as a run driven by
+        the reference elimination order."""
+        import repro.partitioners.sheep as sheep_mod
+        current = SheepPartitioner(8, seed=0).partition(medium_rmat)
+        orig = sheep_mod._min_degree_order
+        sheep_mod._min_degree_order = self._min_degree_order_reference
+        try:
+            pinned = SheepPartitioner(8, seed=0).partition(medium_rmat)
+        finally:
+            sheep_mod._min_degree_order = orig
+        assert np.array_equal(current.assignment, pinned.assignment)
+
     def test_min_degree_order_eliminates_leaves_early(self, star):
         """The hub goes last or second-to-last: once 7 leaves are gone
         its degree drops to 1 and it ties with the final leaf."""

@@ -1,0 +1,112 @@
+"""Fail when a benchmark run drifted the committed result JSONs.
+
+The benchmark suite rewrites ``benchmarks/results/*.json`` as it runs.
+Every *deterministic* field in those files (replication factors, message
+and byte totals, ops counters, partition counts, ...) is pinned by the
+fixed seeds, so any change means a code change silently shifted recorded
+results — ROADMAP's rule is that they may only be regenerated
+deliberately, with a CHANGES.md note.  Wall-clock fields
+(``elapsed_seconds`` and friends, and the workload-balance ratios
+derived from timers) are machine noise and are ignored.
+
+Usage (the CI ``equivalence-and-drift`` job)::
+
+    PYTHONPATH=src python -m pytest -q benchmarks --ignore=benchmarks/perf
+    python benchmarks/check_results_drift.py
+
+Compares the working tree against ``git show HEAD:<path>`` and exits
+non-zero listing every drifted (file, path, before, after) tuple.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: key suffixes measured with wall clocks (or ratios of wall clocks):
+#: legitimate run-to-run noise, never pinned
+TIMING_SUFFIXES = ("_seconds", "_et", "_wb")
+
+#: exact timing-derived keys that no suffix catches.  NOTE:
+#: ``selection_share_model`` (the deterministic op-count form) stays
+#: pinned — only the wall-clock share is noise.
+TIMING_KEYS = {"selection_share"}
+
+#: tolerance for the remaining floats — deterministic accumulation
+#: should be bit-identical, but allow last-ulp slack across BLAS builds
+REL_TOL = 1e-9
+
+
+def is_timing_key(key: str) -> bool:
+    return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def drift(old, new, path: str = "") -> list:
+    """Recursively compare two JSON documents, ignoring timing keys.
+
+    Returns a list of ``(json_path, old_value, new_value)`` tuples.
+    """
+    if isinstance(old, dict) and isinstance(new, dict):
+        out = []
+        for key in sorted(set(old) | set(new)):
+            if is_timing_key(key):
+                continue
+            sub = f"{path}.{key}" if path else key
+            if key not in old or key not in new:
+                out.append((sub, old.get(key, "<absent>"),
+                            new.get(key, "<absent>")))
+            else:
+                out.extend(drift(old[key], new[key], sub))
+        return out
+    if isinstance(old, list) and isinstance(new, list):
+        if len(old) != len(new):
+            return [(f"{path}/length", len(old), len(new))]
+        return [d for i, (o, n) in enumerate(zip(old, new))
+                for d in drift(o, n, f"{path}[{i}]")]
+    if isinstance(old, float) and isinstance(new, float):
+        scale = max(abs(old), abs(new))
+        if abs(old - new) <= REL_TOL * max(scale, 1.0):
+            return []
+        return [(path, old, new)]
+    if old != new:
+        return [(path, old, new)]
+    return []
+
+
+def committed_version(path: Path) -> dict | list | None:
+    rel = path.relative_to(Path(__file__).parent.parent).as_posix()
+    proc = subprocess.run(["git", "show", f"HEAD:{rel}"],
+                          capture_output=True, text=True,
+                          cwd=Path(__file__).parent.parent)
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    failures = []
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        old = committed_version(path)
+        if old is None:
+            failures.append((path.name, "<not committed>", "<new file>"))
+            continue
+        new = json.loads(path.read_text())
+        failures.extend((f"{path.name}:{where}", o, n)
+                        for where, o, n in drift(old, new))
+    if failures:
+        print("committed benchmark results drifted "
+              "(regenerate deliberately + note in CHANGES.md):")
+        for where, o, n in failures:
+            print(f"  {where}: {o!r} -> {n!r}")
+        return 1
+    print(f"results drift check: {len(list(RESULTS_DIR.glob('*.json')))} "
+          "files clean (timing fields ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

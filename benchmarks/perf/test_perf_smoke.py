@@ -20,6 +20,7 @@ from repro.bench.perf import (
     bench_csr_build,
     bench_engine_gathers,
     bench_selection_phase,
+    bench_two_hop_conflict,
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import rmat_edges
@@ -39,6 +40,18 @@ def test_one_hop_vectorized_at_least_2x():
     assert py_one >= 2.0 * vec_one, (
         f"one-hop speedup regressed: python {py_one:.3f}s vs "
         f"vectorized {vec_one:.3f}s ({py_one / vec_one:.2f}x < 2x)")
+
+
+def test_two_hop_conflict_vectorized_at_least_2x():
+    """Conflict-heavy two-hop (the loads-delta batching regime): the
+    full bench shows ~5x; 2x keeps the floor robust to noisy boxes."""
+    graph = _smoke_graph()
+    py = bench_two_hop_conflict(graph, 8, "python")
+    vec = bench_two_hop_conflict(graph, 8, "vectorized")
+    assert vec > 0
+    assert py >= 2.0 * vec, (
+        f"two-hop conflict speedup regressed: python {py:.3f}s vs "
+        f"vectorized {vec:.3f}s ({py / vec:.2f}x < 2x)")
 
 
 def test_selection_vectorized_at_least_2x():

@@ -11,7 +11,6 @@ claims are *relative*:
   rates across methods.
 """
 
-import pytest
 
 from repro.bench.experiments import (
     fig10_elapsed_time,

@@ -12,7 +12,6 @@ Paper claims reproduced here:
   complexity, not scale").
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.experiments import fig8_replication_factor, fig8_rmat_replication

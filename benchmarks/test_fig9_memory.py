@@ -6,7 +6,6 @@ below ParMETIS/Sheep/XtraPuLP (on average 5.89% of the others), it
 ParMETIS is the heaviest because coarsening keeps whole-graph copies.
 """
 
-import pytest
 
 from repro.bench.experiments import fig9_memory
 from repro.bench.harness import format_table

@@ -9,7 +9,6 @@ Paper (64 partitions, Pokec/Flickr/LiveJ/Orkut):
   despite simulating |P| machines in one process).
 """
 
-import pytest
 
 from repro.bench.experiments import table4_sequential_comparison
 from repro.bench.harness import format_table

@@ -7,7 +7,6 @@ rest, but the paper's own take-away is that vertex partitioning is
 perfectly adequate on non-skewed graphs.
 """
 
-import pytest
 
 from repro.bench.experiments import table6_road_networks
 from repro.bench.harness import TABLE6_METHODS, format_table

@@ -15,7 +15,6 @@ Scale14→Scale18 sweep).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.apps import pagerank, sssp, wcc
 from repro.bench.harness import (

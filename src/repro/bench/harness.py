@@ -9,7 +9,6 @@ paper.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.partitioners import PARTITIONER_REGISTRY

@@ -43,7 +43,7 @@ import numpy as np
 from repro.apps.engine import AppRunStats, DistributedGraphEngine
 from repro.cluster.runtime import Process, SimulatedCluster, _same_machine
 from repro.core.allocation import (TAG_BOUNDARY, TAG_EDGES, TAG_SELECT,
-                                   AllocationProcess)
+                                   TAG_SYNC, AllocationProcess)
 from repro.core.expansion import ExpansionProcess
 from repro.core.hash2d import Hash2DPlacement
 from repro.graph.csr import CSRGraph, symmetrised_csr
@@ -53,9 +53,9 @@ from repro.partitioners import PARTITIONER_REGISTRY
 from repro.partitioners.ne import NEPartitioner
 
 __all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
-           "bench_selection_phase", "bench_ne_expand",
-           "bench_engine_gathers", "bench_all_gather_sum",
-           "bench_csr_build"]
+           "bench_two_hop_conflict", "bench_selection_phase",
+           "bench_ne_expand", "bench_engine_gathers",
+           "bench_all_gather_sum", "bench_csr_build"]
 
 #: RMAT edge factor used by every perf graph.
 _EDGE_FACTOR = 8
@@ -109,7 +109,7 @@ def bench_allocation_phases(graph: CSRGraph, partitions: int, kernel: str,
     for round_payloads in _selection_schedule(graph, partitions, batch):
         for payload in round_payloads:
             if payload:
-                driver.send(alloc.pid, TAG_SELECT, payload)
+                driver.send_batched(alloc.pid, TAG_SELECT, payload)
         cluster.barrier()
         t0 = time.perf_counter()
         alloc.one_hop_and_sync()
@@ -124,6 +124,51 @@ def bench_allocation_phases(graph: CSRGraph, partitions: int, kernel: str,
             cluster._receive(("expansion", p), "boundary")
             cluster._receive(("expansion", p), "edges")
     return one_hop, two_hop
+
+
+def bench_two_hop_conflict(graph: CSRGraph, partitions: int, kernel: str,
+                           rounds: int = 8, batch: int | None = None,
+                           seed: int = 0) -> float:
+    """Cumulative two-hop seconds under a conflict-heavy sync schedule.
+
+    A peer allocation process floods the timed one with random ⟨v, p⟩
+    sync pairs, so after a couple of rounds most merged vertices share
+    several partitions with their neighbours — the regime where
+    contested (multi-shared) edges dominate and the loads-delta
+    tie-break replay is the whole phase.  The schedule is identical for
+    both kernels (tuple lists for the reference, ndarray pairs for the
+    vectorized kernel).
+    """
+    cluster = SimulatedCluster()
+    placement = Hash2DPlacement(1, seed=0)
+    alloc = cluster.add_process(AllocationProcess(
+        0, graph, np.arange(graph.num_edges), placement, kernel=kernel))
+    peer = cluster.add_process(Process(("alloc", 1)))
+    for p in range(partitions):
+        cluster.add_process(Process(("expansion", p)))
+
+    rng = np.random.default_rng(seed)
+    if batch is None:
+        batch = max(64, graph.num_vertices // 2)
+    elapsed = 0.0
+    for _ in range(rounds):
+        vs = rng.integers(0, graph.num_vertices, batch)
+        ps = rng.integers(0, partitions, batch)
+        if kernel == "python":
+            payload = list(zip(vs.tolist(), ps.tolist()))
+        else:
+            payload = np.column_stack([vs, ps]).astype(np.int64)
+        peer.send_batched(alloc.pid, TAG_SYNC, payload)
+        alloc.one_hop_and_sync()   # no selects: just arms the phase state
+        cluster.barrier()
+        t0 = time.perf_counter()
+        alloc.two_hop_and_report()
+        elapsed += time.perf_counter() - t0
+        cluster.barrier()
+        for p in range(partitions):
+            cluster._receive(("expansion", p), TAG_BOUNDARY)
+            cluster._receive(("expansion", p), TAG_EDGES)
+    return elapsed
 
 
 # ----------------------------------------------------------------------
@@ -193,8 +238,8 @@ def bench_selection_phase(graph: CSRGraph, partitions: int, kernel: str,
             else:
                 payload = np.column_stack([vs, degs[vs]]).astype(np.int64)
             for e in expanders:
-                allocators[0].send(e.pid, TAG_BOUNDARY, payload)
-                allocators[0].send(e.pid, TAG_EDGES, eid_feed)
+                allocators[0].send_batched(e.pid, TAG_BOUNDARY, payload)
+                allocators[0].send_batched(e.pid, TAG_EDGES, eid_feed)
         cluster.barrier()
 
         t0 = time.perf_counter()
@@ -362,6 +407,12 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
         vec = bench_allocation_phases(graph, partitions, "vectorized")
         rows.append(_row("dne_one_hop", edge_scale, graph, py[0], vec[0]))
         rows.append(_row("dne_two_hop", edge_scale, graph, py[1], vec[1]))
+
+        rows.append(_row(
+            "dne_two_hop_conflict", edge_scale, graph,
+            bench_two_hop_conflict(graph, partitions, "python", seed=seed),
+            bench_two_hop_conflict(graph, partitions, "vectorized",
+                                   seed=seed)))
 
         py = bench_selection_phase(graph, selection_partitions, "python")
         vec = bench_selection_phase(graph, selection_partitions,

@@ -62,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "rerun the paper's experiments.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list methods and datasets")
+    sub.add_parser("list", help="list methods and datasets")
 
     p_part = sub.add_parser("partition", help="partition a graph")
     source = p_part.add_mutually_exclusive_group(required=True)

@@ -62,6 +62,11 @@ class ProcessStats:
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    #: bulk accounting passes (one per coalesced (src, dst, tag) buffer
+    #: or collective fan-out) — the batching-efficiency counters; they
+    #: never affect the message/byte totals
+    send_batches: int = 0
+    receive_batches: int = 0
     #: named resident structures; peak of their sum is the mem score input
     _resident: dict = field(default_factory=dict)
     peak_resident_bytes: int = 0
@@ -77,17 +82,21 @@ class ProcessStats:
     def record_send_bulk(self, count: int, nbytes: int) -> None:
         """Account ``count`` sends totalling ``nbytes`` in one update.
 
-        Collectives with a regular wire pattern (all-gather) know their
-        whole fan-out up front; one bulk update replaces ``count``
-        per-message calls without changing any totals.
+        Senders with a regular wire pattern — collectives that know
+        their whole fan-out up front, and the barrier-batched message
+        plane's per-(src, dst, tag) buffers — replace ``count``
+        per-message calls with one bulk update; the message/byte totals
+        are identical, and ``send_batches`` counts the coalesced passes.
         """
         self.messages_sent += count
         self.bytes_sent += nbytes
+        self.send_batches += 1
 
     def record_receive_bulk(self, count: int, nbytes: int) -> None:
         """Account ``count`` receives totalling ``nbytes`` in one update."""
         self.messages_received += count
         self.bytes_received += nbytes
+        self.receive_batches += 1
 
     def set_resident(self, name: str, nbytes: int) -> None:
         """Register (or update) a named resident structure's size.
@@ -126,6 +135,13 @@ class ClusterStats:
     @property
     def total_messages_sent(self) -> int:
         return sum(s.messages_sent for s in self.per_process.values())
+
+    @property
+    def total_send_batches(self) -> int:
+        """Bulk accounting passes across processes — with the batched
+        message plane this is the number of (src, dst, tag) edges
+        priced, the quantity the per-barrier coalescing optimises."""
+        return sum(s.send_batches for s in self.per_process.values())
 
     @property
     def peak_total_resident_bytes(self) -> int:

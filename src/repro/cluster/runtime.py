@@ -27,6 +27,27 @@ ndarrays end-to-end (``select`` / ``sync`` / ``boundary`` pair batches,
 the two stay byte-for-byte identical under the accounting model.
 Receivers that must accept either form normalise through
 :func:`pair_array`, the contract's single conversion point.
+
+Barrier-batched sends
+---------------------
+``send`` prices and accounts each message at call time — the
+per-message floor the selection bench hit.  ``send_batched`` is the
+bulk plane: payloads are appended to a per-``(src, dst, tag)`` buffer
+(one dict hit + one list append per call) and the whole buffer is
+priced, accounted, and delivered in one pass per *communication-graph
+edge* at the next ``barrier()`` / ``flush()``.  The observable contract
+is unchanged:
+
+* per-process message/byte totals are exactly what the same ``send``
+  calls would have produced (bulk pricing is the sum of the
+  per-payload :func:`payload_nbytes` prices — pinned by the batched
+  accounting property test);
+* mailbox order groups by ``(src, dst, tag)`` buffer in first-send
+  order, payloads in append order within a buffer.  Callers that send
+  at most one message per ``(dst, tag)`` per barrier window — every
+  DNE phase does — observe the identical delivery order as ``send``;
+* eagerly-sent (``send``) messages of the same window are delivered
+  first, in send order.
 """
 
 from __future__ import annotations
@@ -84,6 +105,29 @@ class Process:
         assert self.cluster is not None, "process not registered with a cluster"
         self.cluster._send(self.pid, dst, tag, payload)
 
+    def send_batched(self, dst, tag: str, payload=None) -> None:
+        """Send ``payload`` on the barrier-batched plane.
+
+        Same totals and (for one-message-per-destination senders) same
+        delivery order as :meth:`send`; accounting is deferred to the
+        next ``barrier()``/``flush()`` and done once per
+        ``(src, dst, tag)`` buffer instead of once per message.
+        """
+        assert self.cluster is not None, "process not registered with a cluster"
+        self.cluster._send_batched(self.pid, dst, tag, payload)
+
+    def send_fanout(self, tag: str, dest_payloads) -> None:
+        """Hand a whole multicast to the barrier-batched plane at once.
+
+        ``dest_payloads`` is an iterable of ``(dst, payload)`` pairs;
+        equivalent to one :meth:`send_batched` per pair, minus the
+        per-message dispatch — the hot-path form for selection
+        multicasts that fan out to O(sqrt |P|) destinations every
+        iteration.
+        """
+        assert self.cluster is not None, "process not registered with a cluster"
+        self.cluster._send_fanout(self.pid, tag, dest_payloads)
+
     def receive(self, tag: str) -> list:
         """Pop and return all delivered ``(src, payload)`` pairs for ``tag``."""
         assert self.cluster is not None, "process not registered with a cluster"
@@ -110,6 +154,9 @@ class SimulatedCluster:
         self._delivered: dict = defaultdict(list)
         #: in-flight messages, delivered at the next barrier
         self._in_flight: list = []
+        #: (src, dst, tag) -> list of payloads awaiting bulk accounting
+        #: and delivery (the barrier-batched plane; insertion-ordered)
+        self._batched: dict = {}
         self.stats = ClusterStats()
 
     # -- membership ----------------------------------------------------
@@ -166,16 +213,74 @@ class SimulatedCluster:
         stats.bytes_received += nbytes
         self._in_flight.append((src, dst, tag, payload))
 
+    def _send_batched(self, src, dst, tag: str, payload) -> None:
+        # The hot path is one dict hit and one append; the destination
+        # check runs only when a (src, dst, tag) buffer first appears,
+        # so a barrier window's worth of sends to one destination pays
+        # it once.
+        key = (src, dst, tag)
+        buf = self._batched.get(key)
+        if buf is None:
+            if dst not in self._processes:
+                raise KeyError(f"unknown destination process {dst!r}")
+            buf = self._batched[key] = []
+        buf.append(payload)
+
+    def _send_fanout(self, src, tag: str, dest_payloads) -> None:
+        # One loop with hoisted lookups instead of one _send_batched
+        # dispatch per destination.
+        batched = self._batched
+        processes = self._processes
+        for dst, payload in dest_payloads:
+            key = (src, dst, tag)
+            buf = batched.get(key)
+            if buf is None:
+                if dst not in processes:
+                    raise KeyError(f"unknown destination process {dst!r}")
+                buf = batched[key] = []
+            buf.append(payload)
+
     def _receive(self, pid, tag: str) -> list:
         out = self._delivered.pop((pid, tag), [])
         return out
 
     # -- synchronisation -------------------------------------------------
+    def _drain(self) -> None:
+        """Deliver every pending message: eager sends first (send
+        order), then the batched buffers — one pricing + accounting
+        pass per (src, dst, tag) edge of the communication graph,
+        totals identical to per-message ``send`` accounting."""
+        delivered = self._delivered
+        for src, dst, tag, payload in self._in_flight:
+            delivered[(dst, tag)].append((src, payload))
+        self._in_flight.clear()
+        if not self._batched:
+            return
+        per = self.stats.per_process
+        for (src, dst, tag), payloads in self._batched.items():
+            if _same_machine(src, dst):
+                nbytes = 0
+            else:
+                # payload_nbytes is the one home of the pricing rule
+                # (its ndarray fast path is O(1)); this pass runs once
+                # per buffer at barrier, not per message.
+                nbytes = sum(payload_nbytes(p) for p in payloads)
+            stats = per.get(src)
+            if stats is None:
+                stats = self.stats.stats_for(src)
+            stats.record_send_bulk(len(payloads), nbytes)
+            stats = per.get(dst)
+            if stats is None:
+                stats = self.stats.stats_for(dst)
+            stats.record_receive_bulk(len(payloads), nbytes)
+            mailbox = delivered[(dst, tag)]
+            for payload in payloads:
+                mailbox.append((src, payload))
+        self._batched.clear()
+
     def barrier(self) -> None:
         """Deliver all in-flight messages; counts one global barrier."""
-        for src, dst, tag, payload in self._in_flight:
-            self._delivered[(dst, tag)].append((src, payload))
-        self._in_flight.clear()
+        self._drain()
         self.stats.barriers += 1
 
     def flush(self) -> None:
@@ -184,9 +289,7 @@ class SimulatedCluster:
         Used for the initial data distribution, which the paper excludes
         from its elapsed-time measurements.
         """
-        for src, dst, tag, payload in self._in_flight:
-            self._delivered[(dst, tag)].append((src, payload))
-        self._in_flight.clear()
+        self._drain()
 
     # -- collectives ------------------------------------------------------
     def all_gather_sum(self, values: dict) -> float:

@@ -81,10 +81,13 @@ class DistributedNE(Partitioner):
     kernel:
         ``"vectorized"`` (default) runs the allocation *and* selection
         phases as flat-array NumPy kernels — batched one/two-hop
-        allocation, the array-backed boundary queue, batched multicast
-        fan-out, and structured ndarray payloads end-to-end;
-        ``"python"`` runs the per-slot/per-pair reference loops with
-        tuple-list payloads.  Both produce bit-identical assignments,
+        allocation (loads-delta batching for the two-hop tie-break),
+        the array-backed boundary queue, batched multicast fan-out,
+        and structured ndarray payloads shipped on the simulator's
+        barrier-batched message plane (bulk per-(src, dst, tag)
+        pricing at each barrier); ``"python"`` runs the
+        per-slot/per-pair reference loops with tuple-list payloads
+        over eager per-message sends.  Both produce bit-identical assignments,
         counters, and message traffic (pinned by the kernel
         equivalence tests).  At ``num_partitions > 64`` the vectorized
         replica membership switches to the packed uint64-bitset
@@ -151,7 +154,6 @@ class DistributedNE(Partitioner):
         ]
         load_seconds = time.perf_counter() - t0
 
-        t1 = time.perf_counter()
         iterations = 0
         allocation_seconds = 0.0
         history: list[dict] = []
@@ -229,7 +231,6 @@ class DistributedNE(Partitioner):
                 break
 
         assignment = self._collect_assignment(graph, expanders, allocators)
-        elapsed = time.perf_counter() - t1
 
         stats = cluster.stats.summary()
         extra = {

@@ -37,12 +37,16 @@ kernels as the allocation plane:
   scatter-add, and every message payload is a structured ``(k, 2)``
   int64 ndarray (see the payload contract in
   :mod:`repro.cluster.runtime`) — no Python tuples ever cross the
-  simulated wire.
+  simulated wire, and the whole multicast rides the barrier-batched
+  plane in one ``send_fanout`` call (payloads buffered per
+  destination, priced and delivered in bulk at the delivering
+  barrier).
 * ``kernel="python"`` — the per-pair reference: a heapq/set boundary
   (:class:`HeapqBoundaryQueue`), a per-vertex ``replica_processes``
-  fan-out into tuple lists, and a dict-accumulator boundary fold.  Kept
-  as executable documentation of Algorithm 4 and for the golden
-  equivalence tests.
+  fan-out into tuple lists sent eagerly one message at a time (the
+  per-message accounting plane, kept as-is), and a dict-accumulator
+  boundary fold.  Kept as executable documentation of Algorithm 4 and
+  for the golden equivalence tests.
 
 Both kernels produce identical selections, identical message payloads
 byte-for-byte under the accounting model (a ``(k, 2)`` int64 array and
@@ -307,10 +311,13 @@ class ExpansionProcess(Process):
         self.selection_ops += len(pidx)
         starts = np.flatnonzero(np.concatenate(
             ([True], pidx[1:] != pidx[:-1])))
-        ends = np.concatenate((starts[1:], [len(pidx)]))
-        for s, t in zip(starts.tolist(), ends.tolist()):
-            self.send(("alloc", int(pidx[s])), TAG_SELECT,
-                      payload[vidx[s:t]])
+        # One bulk gather of every ⟨v, p⟩ row in fan-out order, then
+        # zero-copy views per destination (the per-destination fancy
+        # index was the last per-message cost in this loop).
+        rows = payload[vidx]
+        chunks = np.split(rows, starts[1:])
+        self.send_fanout(TAG_SELECT, zip(
+            [("alloc", p) for p in pidx[starts].tolist()], chunks))
         return len(selected)
 
     def _random_seed(self, alloc_processes) -> int | None:

@@ -121,7 +121,7 @@ class TestTwoHopAllocation:
         # (1,2),(2,3)); now 1 and 3 both belong to {p0, p1}; the
         # diagonal (1,3) goes to the lighter partition (tie -> p0).
         _drive(cluster, alloc, [(0, 0), (2, 1)])
-        diag_eid = 2  # canonical order: (0,1),(0,3),(1,2),(1,3),(2,3)
+        # canonical order: (0,1),(0,3),(1,2),(1,3),(2,3) -> diagonal eid 2
         edges = sorted(g.edges.tolist())
         assert edges[3] == [1, 3]
         owner = alloc.alloc[3]
@@ -140,7 +140,8 @@ class TestMultiProcessSync:
         allocs = [cluster.add_process(AllocationProcess(
             k, g, np.flatnonzero(homes == k), placement,
             kernel=kernel)) for k in range(2)]
-        sinks = [_Sink(cluster, p) for p in range(2)]
+        for p in range(2):
+            _Sink(cluster, p)
 
         driver = cluster.process(("expansion", 0))
         for proc in placement.replica_processes(1):

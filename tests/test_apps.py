@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.apps import AppRunStats, DistributedGraphEngine, pagerank, sssp, wcc
+from repro.apps import DistributedGraphEngine, pagerank, sssp, wcc
 from repro.core import DistributedNE
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import ring_graph, rmat_edges
+from repro.graph.generators import ring_graph
 from repro.partitioners.hashing import RandomPartitioner
 
 

@@ -1,6 +1,5 @@
 """Tests for the bench harness and experiment drivers."""
 
-import numpy as np
 import pytest
 
 from repro.bench import experiments as ex

@@ -1,0 +1,219 @@
+"""Barrier-batched message plane: accounting, draining, and the
+central payload-contract pins.
+
+The batched plane must be observationally equivalent to per-message
+``send`` everywhere the accounting model looks: identical per-process
+message/byte totals (bulk pricing = sum of per-payload
+``payload_nbytes`` prices), identical mailbox contents, and barrier
+semantics unchanged (``flush`` drains without counting).  These tests
+pin that contract centrally so the PR-2 byte-equality pins cannot rot
+silently under coalescing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.accounting import payload_nbytes
+from repro.cluster.runtime import Process, SimulatedCluster, pair_array
+
+#: payload shapes spanning the whole contract: ndarray pair batches,
+#: reference tuple lists, id arrays, scalars, and control messages
+PAYLOADS = [
+    None,
+    7,
+    [(1, 2), (3, 4), (5, 6)],
+    [],
+    np.arange(8, dtype=np.int64).reshape(4, 2),
+    np.empty((0, 2), dtype=np.int64),
+    np.arange(5, dtype=np.int64),
+]
+
+
+def _cluster(pids):
+    cluster = SimulatedCluster()
+    procs = [cluster.add_process(Process(pid)) for pid in pids]
+    return cluster, procs
+
+
+def _totals(cluster, pids):
+    return {
+        pid: (s.messages_sent, s.bytes_sent,
+              s.messages_received, s.bytes_received)
+        for pid in pids
+        for s in [cluster.stats.stats_for(pid)]
+    }
+
+
+class TestBatchedAccountingEquality:
+    """Central pin: batched == eager accounting for every payload shape."""
+
+    @pytest.mark.parametrize("src,dst", [
+        (("alloc", 0), ("alloc", 1)),       # cross-machine tuples
+        (("expansion", 2), ("alloc", 2)),   # co-located (free on wire)
+        ("a", "b"),                         # plain ids
+        ("solo", "solo"),                   # self-send
+    ])
+    def test_totals_match_eager_send(self, src, dst):
+        pids = [src] if src == dst else [src, dst]
+        eager, (ep, *_rest) = _cluster(pids)
+        batched, (bp, *_rest) = _cluster(pids)
+        for payload in PAYLOADS:
+            ep.send(dst, "t", payload)
+            bp.send_batched(dst, "t", payload)
+        batched.barrier()
+        eager.barrier()
+        assert _totals(eager, pids) == _totals(batched, pids)
+        # Same mailbox contents in the same order.
+        edel = eager.process(dst).receive("t")
+        bdel = batched.process(dst).receive("t")
+        assert len(edel) == len(bdel) == len(PAYLOADS)
+        for (es, epay), (bs, bpay) in zip(edel, bdel):
+            assert es == bs
+            if isinstance(epay, np.ndarray):
+                assert np.array_equal(epay, bpay)
+            else:
+                assert epay == bpay
+
+    def test_bulk_price_is_sum_of_payload_nbytes(self):
+        """One pricing pass per (src, dst, tag) buffer must equal the
+        per-payload ``payload_nbytes`` sum — ndarray fast path
+        included."""
+        cluster, (a, b) = _cluster([("alloc", 0), ("alloc", 1)])
+        for payload in PAYLOADS:
+            a.send_batched(b.pid, "t", payload)
+        cluster.barrier()
+        expected = sum(payload_nbytes(p) for p in PAYLOADS)
+        assert cluster.stats.stats_for(a.pid).bytes_sent == expected
+        assert cluster.stats.stats_for(b.pid).bytes_received == expected
+        assert cluster.stats.stats_for(a.pid).messages_sent == len(PAYLOADS)
+
+    def test_one_bulk_pass_per_communication_edge(self):
+        """The coalescing invariant: k messages on one (src, dst, tag)
+        edge cost one bulk accounting pass, not k."""
+        cluster, (a, b, c) = _cluster([("x", 0), ("x", 1), ("x", 2)])
+        for _ in range(5):
+            a.send_batched(b.pid, "t", 1)
+        a.send_batched(c.pid, "t", 1)
+        a.send_batched(c.pid, "u", 1)
+        cluster.barrier()
+        sa = cluster.stats.stats_for(a.pid)
+        assert sa.messages_sent == 7
+        assert sa.send_batches == 3      # (a,b,t), (a,c,t), (a,c,u)
+        assert cluster.stats.stats_for(b.pid).receive_batches == 1
+        assert cluster.stats.total_send_batches == 3
+
+    def test_unknown_destination_raises_at_first_send(self):
+        cluster, (a,) = _cluster(["only"])
+        with pytest.raises(KeyError):
+            a.send_batched("nope", "t", 1)
+
+
+class TestPairArrayContract:
+    """pair_array is the single normalisation point of the payload
+    contract: both wire forms of a k-pair batch normalise to the same
+    (k, 2) int64 array and price to 16k bytes."""
+
+    @pytest.mark.parametrize("pairs", [
+        [], [(3, 1)], [(0, 0), (5, 2), (5, 2), (7, 1)],
+    ])
+    def test_forms_normalise_identically_and_price_16k(self, pairs):
+        as_list = [tuple(p) for p in pairs]
+        as_array = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+        norm_list = pair_array(as_list)
+        norm_array = pair_array(as_array)
+        assert norm_list.shape == norm_array.shape == (len(pairs), 2)
+        assert norm_list.dtype == norm_array.dtype == np.int64
+        assert np.array_equal(norm_list, norm_array)
+        assert payload_nbytes(as_list) == payload_nbytes(as_array) \
+            == 16 * len(pairs)
+
+    def test_ndarray_passthrough_no_copy(self):
+        arr = np.arange(6, dtype=np.int64).reshape(3, 2)
+        assert pair_array(arr) is arr
+
+    def test_batched_wire_forms_price_identically(self):
+        """End-to-end: the reference's tuple list and the vectorized
+        kernel's ndarray batch drive identical totals through the
+        batched plane."""
+        pairs = [(9, 0), (4, 2), (11, 1)]
+        totals = {}
+        for form in ("list", "array"):
+            cluster, (a, b) = _cluster([("alloc", 0), ("alloc", 1)])
+            payload = (list(pairs) if form == "list"
+                       else np.array(pairs, dtype=np.int64))
+            a.send_batched(b.pid, "t", payload)
+            cluster.barrier()
+            totals[form] = _totals(cluster, [a.pid, b.pid])
+        assert totals["list"] == totals["array"]
+
+
+class TestFlushVersusBarrier:
+    def test_flush_drains_batched_without_counting_barrier(self):
+        cluster, (a, b) = _cluster([("alloc", 0), ("alloc", 1)])
+        a.send(b.pid, "eager", 1)
+        a.send_batched(b.pid, "bulk", np.arange(4, dtype=np.int64))
+        cluster.flush()
+        assert cluster.stats.barriers == 0
+        # Both planes drained and accounted.
+        assert b.receive("eager") == [(a.pid, 1)]
+        bulk = b.receive("bulk")
+        assert len(bulk) == 1 and bulk[0][0] == a.pid
+        assert not cluster._in_flight and not cluster._batched
+        assert cluster.stats.stats_for(a.pid).messages_sent == 2
+        assert cluster.stats.stats_for(a.pid).bytes_sent == 8 + 32
+
+    def test_barrier_counts_and_drains_both_planes(self):
+        cluster, (a, b) = _cluster([("alloc", 0), ("alloc", 1)])
+        a.send_batched(b.pid, "t", 1)
+        cluster.barrier()
+        assert cluster.stats.barriers == 1
+        assert not cluster._batched
+        assert b.receive("t") == [(a.pid, 1)]
+
+    def test_accounting_deferred_until_drain(self):
+        """Batched sends are invisible to the stats until the next
+        barrier/flush prices the buffers."""
+        cluster, (a, b) = _cluster([("alloc", 0), ("alloc", 1)])
+        a.send_batched(b.pid, "t", [(1, 2)])
+        stats = cluster.stats.stats_for(a.pid)
+        assert stats.messages_sent == 0 and stats.bytes_sent == 0
+        cluster.flush()
+        assert stats.messages_sent == 1 and stats.bytes_sent == 16
+
+    def test_repeated_drains_idempotent(self):
+        cluster, (a, b) = _cluster([("alloc", 0), ("alloc", 1)])
+        a.send_batched(b.pid, "t", 1)
+        cluster.flush()
+        cluster.flush()
+        cluster.barrier()
+        s = cluster.stats.stats_for(a.pid)
+        assert s.messages_sent == 1
+        assert cluster.stats.barriers == 1
+
+
+class TestDeliveryOrder:
+    def test_eager_before_batched_then_buffer_first_send_order(self):
+        cluster, (a, b, c) = _cluster([("x", 0), ("x", 1), ("x", 2)])
+        b.send_batched(c.pid, "t", "b1")
+        a.send(c.pid, "t", "a-eager")
+        a.send_batched(c.pid, "t", "a1")
+        b.send_batched(c.pid, "t", "b2")
+        cluster.barrier()
+        got = c.receive("t")
+        # Eager plane first (send order), then buffers in first-send
+        # order with append order inside each buffer.
+        assert got == [(a.pid, "a-eager"), (b.pid, "b1"), (b.pid, "b2"),
+                       (a.pid, "a1")]
+
+    def test_single_message_per_destination_order_matches_eager(self):
+        """The DNE pattern — at most one message per (dst, tag) per
+        window — observes exactly the eager plane's delivery order."""
+        pids = [("alloc", k) for k in range(4)]
+        orders = {}
+        for plane in ("send", "send_batched"):
+            cluster, procs = _cluster(pids)
+            for p in procs[1:]:
+                getattr(p, plane)(procs[0].pid, "t", p.pid)
+            cluster.barrier()
+            orders[plane] = procs[0].receive("t")
+        assert orders["send"] == orders["send_batched"]

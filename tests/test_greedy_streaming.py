@@ -1,7 +1,6 @@
 """Unit tests for Oblivious, HDRF, and Hybrid Ginger."""
 
 import numpy as np
-import pytest
 
 from repro.graph.csr import CSRGraph
 from repro.partitioners.ginger import HybridGingerPartitioner

@@ -1,7 +1,6 @@
 """Unit tests for the 2D-hash initial placement."""
 
 import numpy as np
-import pytest
 
 from repro.core.hash2d import Hash1DPlacement, Hash2DPlacement
 from repro.graph.generators import rmat_edges

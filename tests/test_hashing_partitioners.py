@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph.csr import CSRGraph
-from repro.graph.generators import rmat_edges
 from repro.partitioners.hashing import (
     DBHPartitioner,
     GridPartitioner,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import ring_graph, rmat_edges
+from repro.graph.generators import ring_graph
 from repro.partitioners.hashing import RandomPartitioner
 from repro.partitioners.hdrf import HDRFPartitioner
 from repro.partitioners.ne import ExpansionState, NEPartitioner

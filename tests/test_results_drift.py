@@ -1,0 +1,62 @@
+"""Unit tests for the CI results-drift comparator.
+
+The checker must ignore exactly the wall-clock fields and flag
+everything else — a comparator that silently skips a deterministic
+field would let recorded results rot, and one that pins a timing field
+would make CI flaky.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from check_results_drift import drift, is_timing_key  # noqa: E402
+
+
+class TestTimingKeys:
+    def test_wall_clock_suffixes_ignored(self):
+        for key in ("elapsed_seconds", "parallel_seconds", "load_seconds",
+                    "sssp_et", "pr_et", "wcc_wb", "selection_share"):
+            assert is_timing_key(key), key
+
+    def test_deterministic_keys_pinned(self):
+        for key in ("replication_factor", "total_bytes", "total_messages",
+                    "barriers", "ops_one_hop", "selection_share_model",
+                    "mem_score", "iterations", "rf", "sssp_com"):
+            assert not is_timing_key(key), key
+
+
+class TestDrift:
+    def test_identical_documents_clean(self):
+        doc = [{"rf": 2.5, "elapsed_seconds": 1.0, "edges": 100}]
+        assert drift(doc, doc) == []
+
+    def test_timing_noise_ignored(self):
+        old = [{"rf": 2.5, "elapsed_seconds": 1.0, "sssp_wb": 1.02}]
+        new = [{"rf": 2.5, "elapsed_seconds": 9.9, "sssp_wb": 1.07}]
+        assert drift(old, new) == []
+
+    def test_deterministic_change_flagged(self):
+        old = [{"rf": 2.5, "elapsed_seconds": 1.0}]
+        new = [{"rf": 2.6, "elapsed_seconds": 1.0}]
+        out = drift(old, new)
+        assert out == [("[0].rf", 2.5, 2.6)]
+
+    def test_float_last_ulp_tolerated(self):
+        old = {"mem_score": 40.00000000000001}
+        new = {"mem_score": 40.0}
+        assert drift(old, new) == []
+
+    def test_added_and_removed_keys_flagged(self):
+        out = drift({"a": 1}, {"a": 1, "b": 2})
+        assert out == [("b", "<absent>", 2)]
+
+    def test_length_change_flagged(self):
+        out = drift([{"a": 1}], [{"a": 1}, {"a": 2}])
+        assert out == [("/length", 1, 2)]
+
+    def test_nested_path_reported(self):
+        old = {"cluster": {"total_bytes": 10, "barriers": 3}}
+        new = {"cluster": {"total_bytes": 11, "barriers": 3}}
+        assert drift(old, new) == [("cluster.total_bytes", 10, 11)]

@@ -7,7 +7,6 @@ check the counts behave like the bound says: bounded by degree-scaled
 totals and shrinking per process as processes are added.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import DistributedNE

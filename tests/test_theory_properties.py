@@ -12,7 +12,6 @@ partitioner in the registry on random graphs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -20,7 +19,7 @@ from repro.core import DistributedNE
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import canonical_edges
 from repro.metrics.bounds import theorem1_upper_bound
-from repro.metrics.quality import replication_factor, validate_assignment
+from repro.metrics.quality import validate_assignment
 from repro.partitioners import PARTITIONER_REGISTRY
 
 SLOW_SETTINGS = settings(max_examples=15, deadline=None,

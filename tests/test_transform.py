@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import ring_graph, rmat_edges
+from repro.graph.generators import ring_graph
 from repro.graph.stats import num_connected_components
 from repro.graph.transform import (
     cap_degrees,

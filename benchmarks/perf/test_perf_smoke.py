@@ -20,6 +20,8 @@ from repro.bench.perf import (
     bench_csr_build,
     bench_engine_gathers,
     bench_selection_phase,
+    bench_sheep_order,
+    bench_streaming_partitioner,
     bench_two_hop_conflict,
 )
 from repro.graph.csr import CSRGraph
@@ -64,6 +66,47 @@ def test_selection_vectorized_at_least_2x():
     assert py_sel >= 2.0 * vec_sel, (
         f"selection speedup regressed: python {py_sel:.3f}s vs "
         f"vectorized {vec_sel:.3f}s ({py_sel / vec_sel:.2f}x < 2x)")
+
+
+def test_streaming_rows_vectorized_at_least_2x():
+    """The streaming-baseline zoo on the shared chunked-scoring
+    substrate at the Table-4/5 sweep width (|P| = 64): the full bench
+    shows ~2.5-3.5x for HDRF/FENNEL; 2x keeps the floor robust."""
+    graph = _smoke_graph()
+    for name in ("hdrf", "fennel"):
+        py = bench_streaming_partitioner(name, graph, 64, "python")
+        vec = bench_streaming_partitioner(name, graph, 64, "vectorized")
+        assert vec > 0
+        assert py >= 2.0 * vec, (
+            f"{name} streaming speedup regressed: python {py:.3f}s vs "
+            f"vectorized {vec:.3f}s ({py / vec:.2f}x < 2x)")
+
+
+def test_streaming_wide_partitions_vectorized_at_least_2x():
+    """|P| = 256 weak-scaling row: packed-bitset membership end-to-end
+    against the reference's per-edge O(|P|) set probes (full bench
+    shows ~8x; 2x floor)."""
+    graph = CSRGraph(rmat_edges(11, 8, seed=0))
+    py = bench_streaming_partitioner("hdrf", graph, 256, "python")
+    vec = bench_streaming_partitioner("hdrf", graph, 256, "vectorized")
+    assert vec > 0
+    assert py >= 2.0 * vec, (
+        f"hdrf |P|=256 speedup regressed: python {py:.3f}s vs "
+        f"vectorized {vec:.3f}s ({py / vec:.2f}x < 2x)")
+
+
+def test_sheep_order_kernels_run_and_agree():
+    """Sheep's batched elimination order: no speed floor (the batched
+    fringe harvest + heap tail is roughly at parity at smoke scale —
+    see BENCH_kernels.json for the per-scale numbers), but both
+    kernels must run and agree."""
+    from repro.partitioners.sheep import (_min_degree_order,
+                                          _min_degree_order_python)
+    graph = CSRGraph(rmat_edges(11, 8, seed=1))
+    assert bench_sheep_order(graph, "python") >= 0
+    assert bench_sheep_order(graph, "vectorized") >= 0
+    assert np.array_equal(_min_degree_order(graph),
+                          _min_degree_order_python(graph))
 
 
 def test_selection_bench_kernels_agree_on_traffic(monkeypatch):

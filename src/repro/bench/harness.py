@@ -71,11 +71,13 @@ def method_memory_bytes(result: EdgePartition) -> int:
     if result.method == "distributed_ne":
         return int(result.extra["cluster"]["peak_resident_bytes"])
     if result.method.startswith("metis_like"):
-        # Every coarsening level keeps a dict-of-dicts adjacency copy.
+        # Every coarsening level keeps a whole weighted-CSR graph copy
+        # (priced by _Level.nbytes), plus matching/projection arrays
+        # and the contraction's sorted-key workspace (~4 int64 per
+        # adjacency slot of the level being contracted).
         levels = result.extra.get("coarse_levels_bytes", 0)
-        # Dict adjacency of the base level ~ 64 bytes/entry overhead.
-        dict_adjacency = 2 * graph.num_edges * 64
-        return base_csr + dict_adjacency + levels + assignment
+        workspace = 4 * 2 * graph.num_edges * 8
+        return base_csr + levels + workspace + assignment
     if result.method.startswith("sheep"):
         # Elimination order heap (amortised entries), rank/parent/owner.
         heap = 4 * graph.num_edges * 16

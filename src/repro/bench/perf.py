@@ -16,6 +16,17 @@ speedups it claims and future PRs can track regressions:
   cluster of expansion processes at ``selection_partitions`` machines
   (array-backed queue + batched membership + ndarray payloads vs the
   heapq/tuple-list reference);
+* ``hdrf`` / ``fennel`` / ``oblivious`` — the streaming-baseline zoo
+  on the shared chunked-scoring substrate (``core/streaming.py``): a
+  full partition run per kernel at ``streaming_partitions`` machines,
+  plus an ``hdrf_p256`` weak-scaling row at |P| = 256 that exercises
+  the packed-bitset membership end-to-end (the reference's per-edge
+  O(|P|) score loop versus hoisted windows + uint64 words).  The
+  oblivious row documents a trade-off rather than a win — its
+  reference stays faster (and stays that method's default kernel);
+* ``sheep_order`` — Sheep's approximate-minimum-degree elimination
+  order (batched non-adjacent minima pops + heap tail vs the
+  sequential encoded-int heap);
 * ``ne_expand`` — a full sequential-NE partition (the
   ``ExpansionState.expand_vertex`` path shared with SNE);
 * ``gather_sum`` / ``gather_min`` — the GAS engine's gather
@@ -54,6 +65,7 @@ from repro.partitioners.ne import NEPartitioner
 
 __all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
            "bench_two_hop_conflict", "bench_selection_phase",
+           "bench_streaming_partitioner", "bench_sheep_order",
            "bench_ne_expand", "bench_engine_gathers",
            "bench_all_gather_sum", "bench_csr_build"]
 
@@ -268,6 +280,29 @@ def bench_selection_phase(graph: CSRGraph, partitions: int, kernel: str,
 
 
 # ----------------------------------------------------------------------
+# Streaming-baseline zoo (shared core/streaming.py substrate)
+# ----------------------------------------------------------------------
+def bench_streaming_partitioner(name: str, graph: CSRGraph,
+                                partitions: int, kernel: str) -> float:
+    """Seconds for one full streaming-baseline partition run."""
+    cls = PARTITIONER_REGISTRY[name]
+    t0 = time.perf_counter()
+    cls(partitions, seed=0, kernel=kernel).partition(graph)
+    return time.perf_counter() - t0
+
+
+def bench_sheep_order(graph: CSRGraph, kernel: str) -> float:
+    """Seconds for Sheep's elimination-order computation."""
+    from repro.partitioners.sheep import (_min_degree_order,
+                                          _min_degree_order_python)
+    fn = (_min_degree_order if kernel == "vectorized"
+          else _min_degree_order_python)
+    t0 = time.perf_counter()
+    fn(graph)
+    return time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
 # Sequential NE expansion
 # ----------------------------------------------------------------------
 def bench_ne_expand(graph: CSRGraph, partitions: int, kernel: str) -> float:
@@ -383,6 +418,8 @@ def _row(name: str, edge_scale: int, graph: CSRGraph | None,
 def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
              engine_partitions: int = 256,
              selection_partitions: int = 64,
+             streaming_partitions: int = 64,
+             wide_partitions: int = 256,
              out: str | None = "BENCH_kernels.json",
              seed: int = 0) -> dict:
     """Time every kernel pair at each scale; optionally write JSON.
@@ -393,7 +430,11 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
     the reference kernel's O(n · P) dense temporaries dominate;
     ``selection_partitions`` drives the expansion-side selection bench
     (default 64 machines — the scale-out regime where §7.4 reports the
-    selection phase eating into the wall clock).
+    selection phase eating into the wall clock);
+    ``streaming_partitions`` drives the streaming-baseline rows
+    (default 64, the Table-4/5 sweep scale) and ``wide_partitions``
+    the |P| ≫ 64 weak-scaling row exercising packed-bitset membership
+    end-to-end (default 256).
 
     Returns the result document: ``{"meta": ..., "kernels": [rows]}``
     with one row per (kernel, scale) holding both kernels' seconds and
@@ -422,6 +463,29 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
         rows.append(_row("dne_boundary_fold", edge_scale, graph,
                          py[1], vec[1]))
 
+        # oblivious is included without a smoke floor: its reference
+        # per-edge set probes win at every measured |P| (which is why
+        # its default kernel stays "python") — the row keeps that
+        # trade-off visible rather than hiding it.
+        for name in ("hdrf", "fennel", "oblivious"):
+            rows.append(_row(
+                name, edge_scale, graph,
+                bench_streaming_partitioner(name, graph,
+                                            streaming_partitions, "python"),
+                bench_streaming_partitioner(name, graph,
+                                            streaming_partitions,
+                                            "vectorized")))
+        rows.append(_row(
+            f"hdrf_p{wide_partitions}", edge_scale, graph,
+            bench_streaming_partitioner("hdrf", graph, wide_partitions,
+                                        "python"),
+            bench_streaming_partitioner("hdrf", graph, wide_partitions,
+                                        "vectorized")))
+
+        rows.append(_row("sheep_order", edge_scale, graph,
+                         bench_sheep_order(graph, "python"),
+                         bench_sheep_order(graph, "vectorized")))
+
         rows.append(_row("ne_expand", edge_scale, graph,
                          bench_ne_expand(graph, partitions, "python"),
                          bench_ne_expand(graph, partitions, "vectorized")))
@@ -447,6 +511,8 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
             "partitions": partitions,
             "engine_partitions": engine_partitions,
             "selection_partitions": selection_partitions,
+            "streaming_partitions": streaming_partitions,
+            "wide_partitions": wide_partitions,
             "seed": seed,
             "python": platform.python_version(),
             "numpy": np.__version__,

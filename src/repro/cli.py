@@ -21,6 +21,7 @@ available programmatically (see README quickstart).
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.bench.harness import format_table
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.edgelist import load_edges_tsv
+from repro.kernels import KERNELS
 from repro.partitioners import PARTITIONER_REGISTRY
 from repro.partitioners.io import load_partition, save_partition
 
@@ -72,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(PARTITIONER_REGISTRY))
     p_part.add_argument("--partitions", "-p", type=int, default=16)
     p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument("--kernel", choices=KERNELS, default=None,
+                        help="implementation to run for methods with a "
+                             "kernel= flag (default: the method's own "
+                             "default, i.e. vectorized)")
     p_part.add_argument("--out", help="write result to this .npz path")
 
     p_inspect = sub.add_parser("inspect",
@@ -98,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--selection-partitions", type=int, default=64,
                         help="cluster size for the DNE selection-phase "
                              "benches (default 64 machines)")
+    p_perf.add_argument("--streaming-partitions", type=int, default=64,
+                        help="|P| for the streaming-baseline rows "
+                             "(default 64)")
+    p_perf.add_argument("--wide-partitions", type=int, default=256,
+                        help="|P| for the packed-membership weak-scaling "
+                             "row (default 256)")
     p_perf.add_argument("--seed", type=int, default=0)
     p_perf.add_argument("--out", default="BENCH_kernels.json",
                         help="JSON output path ('-' to skip writing)")
@@ -138,8 +150,17 @@ def _cmd_partition(args) -> int:
           f"{graph.num_edges} edges")
 
     cls = PARTITIONER_REGISTRY[args.method]
-    result = cls(args.partitions, seed=args.seed).partition(graph)
+    kwargs = {}
+    if args.kernel is not None:
+        if "kernel" not in inspect.signature(cls.__init__).parameters:
+            print(f"error: method {args.method!r} has no kernel= flag",
+                  file=sys.stderr)
+            return 2
+        kwargs["kernel"] = args.kernel
+    result = cls(args.partitions, seed=args.seed, **kwargs).partition(graph)
     print(f"method={result.method} partitions={args.partitions}")
+    if kwargs:
+        print(f"  kernel             : {args.kernel}")
     print(f"  replication factor : {result.replication_factor():.3f}")
     print(f"  edge balance       : {result.edge_balance():.3f}")
     print(f"  vertex balance     : {result.vertex_balance():.3f}")
@@ -182,6 +203,8 @@ def _cmd_bench(args) -> int:
                    partitions=args.partitions,
                    engine_partitions=args.engine_partitions,
                    selection_partitions=args.selection_partitions,
+                   streaming_partitions=args.streaming_partitions,
+                   wide_partitions=args.wide_partitions,
                    out=out, seed=args.seed)
     headers = ["kernel", "edge_scale", "edges",
                "python_seconds", "vectorized_seconds", "speedup"]

@@ -127,6 +127,17 @@ class DenseMembership:
         """(vertex idx, partition) coordinates of every set bit."""
         return np.nonzero(self._mat)
 
+    def rows_bool(self, idx: np.ndarray) -> np.ndarray:
+        """Boolean ``(len(idx), width)`` membership rows (always a copy)."""
+        return self._mat[idx]
+
+    # -- scalar bit ops (streaming tail walkers) -----------------------
+    def get_bit(self, v: int, p: int) -> bool:
+        return bool(self._mat[v, p])
+
+    def set_bit(self, v: int, p: int) -> None:
+        self._mat[v, p] = True
+
     # -- single-partition column ops (one-hop) -------------------------
     def test_col(self, idx: np.ndarray, p: int) -> np.ndarray:
         return self._mat[idx, p]
@@ -202,6 +213,16 @@ class PackedMembership:
 
     def nonzero(self) -> tuple[np.ndarray, np.ndarray]:
         return self.mask_nonzero(self._words)
+
+    def rows_bool(self, idx: np.ndarray) -> np.ndarray:
+        """Boolean ``(len(idx), width)`` membership rows (unpacked copy)."""
+        return unpack_bool_matrix(self._words[idx], self._width)
+
+    def get_bit(self, v: int, p: int) -> bool:
+        return bool((self._words[v, p >> 6] >> np.uint64(p & 63)) & _U64_ONE)
+
+    def set_bit(self, v: int, p: int) -> None:
+        self._words[v, p >> 6] |= _U64_ONE << np.uint64(p & 63)
 
     def test_col(self, idx: np.ndarray, p: int) -> np.ndarray:
         word, bit = p >> 6, np.uint64(p & 63)

@@ -12,6 +12,7 @@ Hybrid                :class:`~repro.partitioners.hashing.HybridHashPartitioner`
 Oblivious             :class:`~repro.partitioners.oblivious.ObliviousPartitioner`   edge
 Hybrid Ginger         :class:`~repro.partitioners.ginger.HybridGingerPartitioner`   edge
 HDRF                  :class:`~repro.partitioners.hdrf.HDRFPartitioner`             edge (streaming)
+FENNEL                :class:`~repro.partitioners.fennel.FennelEdgePartitioner`     edge (streaming)
 NE                    :class:`~repro.partitioners.ne.NEPartitioner`                 edge (offline)
 SNE                   :class:`~repro.partitioners.sne.SNEPartitioner`               edge (streaming)
 Sheep                 :class:`~repro.partitioners.sheep.SheepPartitioner`           edge (tree)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.kernels import validate_kernel
 from repro.metrics.quality import (
     edge_balance,
     replication_factor,
@@ -29,7 +30,8 @@ from repro.metrics.quality import (
     vertex_balance,
 )
 
-__all__ = ["EdgePartition", "VertexPartition", "Partitioner", "timed_partition"]
+__all__ = ["EdgePartition", "VertexPartition", "Partitioner",
+           "StreamingEdgePartitioner", "timed_partition"]
 
 
 @dataclass
@@ -136,6 +138,44 @@ class Partitioner:
         return result
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:
+        raise NotImplementedError
+
+
+class StreamingEdgePartitioner(Partitioner):
+    """Shared plumbing for the one-pass streaming baselines.
+
+    HDRF, FENNEL, and Oblivious all walk the canonical edge list once —
+    optionally in a seeded shuffled order — scoring each edge against
+    every partition, and all ship two implementations selected by the
+    standard ``kernel=`` flag: ``"vectorized"`` (default; the chunked
+    scoring driver of :mod:`repro.core.streaming`) and ``"python"``
+    (the per-edge reference loop, kept verbatim).  This base owns the
+    flag validation and the stream order so both kernels consume the
+    RNG identically — the order *is* part of the pinned behaviour.
+    """
+
+    def __init__(self, num_partitions: int, seed: int = 0,
+                 shuffle: bool = True, kernel: str = "vectorized"):
+        super().__init__(num_partitions, seed)
+        self.shuffle = shuffle
+        self.kernel = validate_kernel(kernel)
+
+    def stream_order(self, num_edges: int) -> np.ndarray:
+        """Edge-id visit order: identity, or a seeded permutation."""
+        order = np.arange(num_edges)
+        if self.shuffle:
+            order = np.random.default_rng(self.seed).permutation(order)
+        return order
+
+    def _partition(self, graph: CSRGraph) -> EdgePartition:
+        if self.kernel == "python":
+            return self._partition_python(graph)
+        return self._partition_vectorized(graph)
+
+    def _partition_python(self, graph: CSRGraph) -> EdgePartition:
+        raise NotImplementedError
+
+    def _partition_vectorized(self, graph: CSRGraph) -> EdgePartition:
         raise NotImplementedError
 
 

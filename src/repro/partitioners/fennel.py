@@ -17,47 +17,144 @@ hard cap.
 Quality lands in the greedy-streaming class (comparable to Oblivious,
 behind NE-family methods) — included as the related-work baseline and
 as another point in the streaming design space.
+
+Kernels: ``"vectorized"`` (default) rides the chunked scoring driver of
+:mod:`repro.core.streaming`; ``"python"`` is the per-edge reference
+loop, kept verbatim and pinned bit-identical by
+``tests/test_streaming_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.streaming import EdgeStreamScorer, StreamingState, \
+    run_chunked_stream
 from repro.graph.csr import CSRGraph
-from repro.partitioners.base import EdgePartition, Partitioner
+from repro.partitioners.base import EdgePartition, StreamingEdgePartitioner
 
 __all__ = ["FennelEdgePartitioner"]
 
 
-class FennelEdgePartitioner(Partitioner):
+class _FennelScorer(EdgeStreamScorer):
+    """Rowwise form of the reference's per-edge FENNEL score.
+
+    The locality term is hoisted per collision-free window; the convex
+    load penalty tracks the running loads.  The tail stepper recomputes
+    the penalty vector with the reference's exact expression each step
+    (caching per-entry powers would re-evaluate ``**`` along a
+    different NumPy code path, and the equivalence pin is bit-exact).
+    """
+
+    def __init__(self, state, u, v, gamma, load_exponent):
+        super().__init__(state, u, v)
+        self.gamma = gamma
+        self.load_exponent = load_exponent
+        self._pen_table = self._penalty_table()
+
+    def window_static(self, sl):
+        u, v = self.u[sl], self.v[sl]
+        in_u = self.state.member_rows(u)
+        in_v = self.state.member_rows(v)
+        return in_u.astype(np.float64) + in_v.astype(np.float64)
+
+    def pick(self, aux, rows, loads_mat):
+        loads = loads_mat.astype(np.float64)
+        a = self.load_exponent
+        penalty = self.gamma * ((loads + 1.0) ** a - loads ** a)
+        return (aux[rows] - penalty).argmax(axis=1)
+
+    def _penalty_table(self) -> np.ndarray:
+        """Marginal penalty per integer load value, for every load the
+        stream can reach.  Built through the same whole-array ufunc
+        loop as the reference's per-edge vector (NumPy's SIMD pow is
+        not bit-identical to the float64 scalar operator, and is
+        verified value-deterministic across array shapes by the
+        equivalence pins), so table lookups reproduce the reference's
+        floats exactly."""
+        vals = np.arange(len(self.u) + 2, dtype=np.float64)
+        a = self.load_exponent
+        return self.gamma * ((vals + 1.0) ** a - vals ** a)
+
+    def tail_walk(self, sl, aux, start, stop):
+        us, vs = self.u[sl], self.v[sl]
+        state = self.state
+        member = state.member
+        changed = self._changed
+        pen_table = self._pen_table
+        loads = state.loads.tolist()             # walker-local int loads
+        penalty = pen_table[state.loads]
+        buf = np.empty_like(penalty)
+        out = np.empty(stop - start, dtype=np.int64)
+        for k in range(start, stop):
+            uk = int(us[k])
+            vk = int(vs[k])
+            if uk in changed or vk in changed:
+                rows = member.rows_bool(np.array([uk, vk]))
+                aux[k] = rows[0].astype(np.float64) + rows[1].astype(np.float64)
+            np.subtract(aux[k], penalty, out=buf)
+            t = int(np.argmax(buf))
+            out[k - start] = t
+            loads[t] += 1
+            penalty[t] = pen_table[loads[t]]
+            if not member.get_bit(uk, t):
+                member.set_bit(uk, t)
+                changed.add(uk)
+            if not member.get_bit(vk, t):
+                member.set_bit(vk, t)
+                changed.add(vk)
+        state.loads += np.bincount(out, minlength=state.num_partitions)
+        return out
+
+
+class FennelEdgePartitioner(StreamingEdgePartitioner):
     """One-pass FENNEL scoring over the edge stream."""
 
     name = "fennel"
 
     def __init__(self, num_partitions: int, seed: int = 0,
                  load_exponent: float = 1.5, gamma: float | None = None,
-                 shuffle: bool = True):
-        super().__init__(num_partitions, seed)
+                 shuffle: bool = True, kernel: str = "vectorized"):
+        super().__init__(num_partitions, seed, shuffle=shuffle,
+                         kernel=kernel)
         if load_exponent <= 1.0:
             raise ValueError("load_exponent must be > 1 (convex penalty)")
         self.load_exponent = load_exponent
         self.gamma = gamma
-        self.shuffle = shuffle
 
-    def _partition(self, graph: CSRGraph) -> EdgePartition:
+    def _resolve_gamma(self, graph: CSRGraph) -> float:
+        if self.gamma is not None:
+            return self.gamma
         p = self.num_partitions
         m = max(graph.num_edges, 1)
         a = self.load_exponent
-        gamma = self.gamma
-        if gamma is None:
-            # Classic FENNEL scaling adapted to edge loads.
-            gamma = np.sqrt(p) * m / (m / p) ** a if p > 1 else 0.0
-            gamma /= m  # normalise so penalties are O(1) per edge
+        # Classic FENNEL scaling adapted to edge loads.
+        gamma = np.sqrt(p) * m / (m / p) ** a if p > 1 else 0.0
+        return gamma / m  # normalise so penalties are O(1) per edge
 
-        order = np.arange(graph.num_edges)
-        if self.shuffle:
-            rng = np.random.default_rng(self.seed)
-            order = rng.permutation(order)
+    def _result(self, graph: CSRGraph, assignment: np.ndarray,
+                gamma: float) -> EdgePartition:
+        return EdgePartition(graph, self.num_partitions, assignment,
+                             method=self.name,
+                             extra={"gamma": float(gamma),
+                                    "load_exponent": self.load_exponent})
+
+    def _partition_vectorized(self, graph: CSRGraph) -> EdgePartition:
+        gamma = self._resolve_gamma(graph)
+        order = self.stream_order(graph.num_edges)
+        state = StreamingState(graph.num_vertices, self.num_partitions)
+        scorer = _FennelScorer(state,
+                               graph.edges[order, 0], graph.edges[order, 1],
+                               gamma, self.load_exponent)
+        assignment = np.empty(graph.num_edges, dtype=np.int64)
+        assignment[order] = run_chunked_stream(scorer)
+        return self._result(graph, assignment, gamma)
+
+    def _partition_python(self, graph: CSRGraph) -> EdgePartition:
+        p = self.num_partitions
+        a = self.load_exponent
+        gamma = self._resolve_gamma(graph)
+        order = self.stream_order(graph.num_edges)
 
         use_bitmask = p <= 64
         if use_bitmask:
@@ -91,6 +188,4 @@ class FennelEdgePartitioner(Partitioner):
                 replica_sets[u].add(target)
                 replica_sets[v].add(target)
 
-        return EdgePartition(graph, p, assignment, method=self.name,
-                             extra={"gamma": float(gamma),
-                                    "load_exponent": a})
+        return self._result(graph, assignment, gamma)

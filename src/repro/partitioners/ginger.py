@@ -16,17 +16,169 @@ Chen et al. (EuroSys'15).  The method:
 
 Per the paper, a few refinement rounds suffice; quality lands between
 plain hashing and the greedy/streaming family.
+
+Kernels: the refinement rounds are a *stream of vertex groups*, so the
+``"vectorized"`` kernel (default) drives them through the streaming
+core's prefix-commit loop
+(:func:`repro.core.streaming.run_chunked_fixpoint`) with a weighted
+group scorer: window histograms are one bincount over the gathered
+incident-edge assignments, loads reconstruct through signed
+group-sized deltas, and a window position replays sequentially only
+when a *moved* in-window neighbour staled its locality histogram.
+``"python"`` is the per-group reference loop, kept verbatim and pinned
+bit-identical by ``tests/test_streaming_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.core.streaming import run_chunked_fixpoint
+from repro.graph.csr import CSRGraph, adjacency_slots
 from repro.partitioners.base import EdgePartition, Partitioner
 from repro.partitioners.hashing import HybridHashPartitioner
+from repro.kernels import validate_kernel
 
 __all__ = ["HybridGingerPartitioner"]
+
+
+class _GingerRoundScorer:
+    """Chunked-driver scorer for one refinement round's group stream.
+
+    Implements the :func:`~repro.core.streaming.run_chunked_fixpoint`
+    protocol for a *weighted* item stream: each item is a low-degree
+    grouping vertex, a "placement" moves ``len(group)`` edges and one
+    covered vertex, and the opaque loads view threaded between
+    :meth:`reconstruct` and :meth:`select` is the
+    ``(edge_loads, vertex_loads)`` matrix pair.
+    """
+
+    def __init__(self, graph: CSRGraph, assignment: np.ndarray,
+                 edge_loads: np.ndarray, vertex_loads: np.ndarray,
+                 group_indptr: np.ndarray, group_eids: np.ndarray,
+                 group_vertices: np.ndarray, gamma: float, nu: float):
+        self.graph = graph
+        self.assignment = assignment
+        self.edge_loads = edge_loads
+        self.vertex_loads = vertex_loads
+        self.group_indptr = group_indptr
+        self.group_eids = group_eids
+        self.group_vertices = group_vertices    # sorted grouping vertices
+        self.gamma = gamma
+        self.nu = nu
+        self.num_partitions = len(edge_loads)
+        self.items = np.empty(0, dtype=np.int64)    # set per round
+        self.gis = np.empty(0, dtype=np.int64)
+        self.moved = 0
+        #: vertex -> window position stamp (reset after every window)
+        self._pos_of = np.full(graph.num_vertices, -1, dtype=np.int64)
+        self._window_key = None
+
+    def start_round(self, items: np.ndarray) -> None:
+        self.items = items
+        self.gis = np.searchsorted(self.group_vertices, items)
+        self.moved = 0
+        self._window_key = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _window(self, sl: slice):
+        """Memoised incident-edge gather + locality histogram for the
+        current window (the histogram is loads-independent, so both of
+        the fixpoint driver's select passes share one build; commit
+        invalidates the memo)."""
+        key = (sl.start, sl.stop)
+        if self._window_key != key:
+            vs = self.items[sl]
+            slot_idx, counts = adjacency_slots(self.graph.indptr, vs)
+            gi = self.gis[sl]
+            firsts = self.group_eids[self.group_indptr[gi]]
+            w, p = len(vs), self.num_partitions
+            parts = self.assignment[self.graph.edge_ids[slot_idx]]
+            rows = np.repeat(np.arange(w, dtype=np.int64), counts)
+            hist = np.bincount(rows * p + parts,
+                               minlength=w * p).reshape(w, p)
+            self._window_key = key
+            self._window_data = (vs, slot_idx, counts,
+                                 self.assignment[firsts],
+                                 hist.astype(np.float64))
+        return self._window_data
+
+    def group_sizes(self, gi: np.ndarray) -> np.ndarray:
+        return self.group_indptr[gi + 1] - self.group_indptr[gi]
+
+    def select(self, sl, loads_mats):
+        hist = self._window(sl)[4]
+        if loads_mats is None:
+            el, vl = self.edge_loads[None, :], self.vertex_loads[None, :]
+        else:
+            el, vl = loads_mats
+        penalty = (self.gamma / 2.0) * (vl + self.nu * el)
+        return (hist - penalty).argmax(axis=1)
+
+    def reconstruct(self, sl, t0):
+        cur = self._window(sl)[3]
+        w, p = len(t0), self.num_partitions
+        sizes = self.group_sizes(self.gis[sl]).astype(np.float64)
+        el_hot = np.zeros((w, p))
+        vl_hot = np.zeros((w, p))
+        moved = np.flatnonzero(t0 != cur)
+        shift = moved + 1                      # exclusive prefix
+        shift = shift[shift < w]
+        moved = moved[moved + 1 < w]
+        el_hot[shift, cur[moved]] -= sizes[moved]
+        el_hot[shift, t0[moved]] += sizes[moved]
+        vl_hot[shift, cur[moved]] -= 1.0
+        vl_hot[shift, t0[moved]] += 1.0
+        np.cumsum(el_hot, axis=0, out=el_hot)
+        np.cumsum(vl_hot, axis=0, out=vl_hot)
+        return (self.edge_loads[None, :] + el_hot,
+                self.vertex_loads[None, :] + vl_hot)
+
+    def run_length(self, sl, t0, t1):
+        vs, slot_idx, counts, cur, _ = self._window(sl)
+        w = len(vs)
+        moved0 = t0 != cur
+        bad = t1 != t0
+        # Locality staleness: a moved earlier-in-window neighbour
+        # rewrote some incident edge's assignment under this vertex.
+        pos_of = self._pos_of
+        pos_of[vs] = np.arange(w)
+        nbr_pos = pos_of[self.graph.indices[slot_idx]]
+        pos_of[vs] = -1
+        rows = np.repeat(np.arange(w, dtype=np.int64), counts)
+        # -1 stamps wrap to the last window slot, but the >= 0 term
+        # vetoes those lanes, so the gather below is safe.
+        hit = (nbr_pos >= 0) & (nbr_pos < rows) & moved0[nbr_pos]
+        if hit.any():
+            bad[rows[hit].min()] = True
+        first = np.flatnonzero(bad)
+        return max(1, int(first[0])) if len(first) else w
+
+    def commit(self, sl, targets):
+        # The committed run is a prefix of the memoised window: reuse
+        # its cur column instead of re-gathering the adjacency.
+        key = self._window_key
+        if key and key[0] == sl.start and sl.stop <= key[1]:
+            cur = self._window_data[3][:sl.stop - sl.start]
+        else:
+            cur = self._window(sl)[3]
+        moved = np.flatnonzero(targets != cur)
+        self._window_key = None
+        if not len(moved):
+            return
+        gi = self.gis[sl][moved]
+        tg = targets[moved]
+        cm = cur[moved]
+        sizes = self.group_sizes(gi).astype(np.float64)
+        slot, counts = adjacency_slots(self.group_indptr, gi)
+        self.assignment[self.group_eids[slot]] = np.repeat(tg, counts)
+        np.subtract.at(self.edge_loads, cm, sizes)
+        np.add.at(self.edge_loads, tg, sizes)
+        np.subtract.at(self.vertex_loads, cm, 1.0)
+        np.add.at(self.vertex_loads, tg, 1.0)
+        self.moved += len(moved)
 
 
 class HybridGingerPartitioner(Partitioner):
@@ -36,13 +188,16 @@ class HybridGingerPartitioner(Partitioner):
 
     def __init__(self, num_partitions: int, seed: int = 0,
                  threshold: int = 100, rounds: int = 3,
-                 gamma: float = 1.5):
+                 gamma: float = 1.5, kernel: str = "vectorized"):
         super().__init__(num_partitions, seed)
         self.threshold = threshold
         self.rounds = rounds
         self.gamma = gamma
+        self.kernel = validate_kernel(kernel)
 
-    def _partition(self, graph: CSRGraph) -> EdgePartition:
+    def _setup(self, graph: CSRGraph):
+        """Base Hybrid-hash run + the low-degree grouping (shared by
+        both kernels; group enumeration order is eid-ascending)."""
         p = self.num_partitions
         base = HybridHashPartitioner(
             p, seed=self.seed, threshold=self.threshold).partition(graph)
@@ -53,6 +208,52 @@ class HybridGingerPartitioner(Partitioner):
         group_by_u = deg[u_col] <= deg[v_col]
         group_vertex = np.where(group_by_u, u_col, v_col)
         low = deg[group_vertex] < self.threshold
+        return assignment, group_vertex, low
+
+    def _partition(self, graph: CSRGraph) -> EdgePartition:
+        if self.kernel == "python":
+            return self._partition_python(graph)
+        return self._partition_vectorized(graph)
+
+    def _partition_vectorized(self, graph: CSRGraph) -> EdgePartition:
+        p = self.num_partitions
+        assignment, group_vertex, low = self._setup(graph)
+
+        low_eids = np.flatnonzero(low)
+        gv = group_vertex[low_eids]
+        order = np.argsort(gv, kind="stable")    # (vertex, eid) ascending
+        group_eids = low_eids[order]
+        vertices, counts = np.unique(gv, return_counts=True)
+        group_indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+        np.cumsum(counts, out=group_indptr[1:])
+
+        edge_loads = np.bincount(assignment, minlength=p).astype(np.float64)
+        vertex_loads = _covered_vertex_counts(graph, assignment, p).astype(np.float64)
+        nu = graph.num_vertices / max(graph.num_edges, 1)
+        rng = np.random.default_rng(self.seed)
+
+        scorer = _GingerRoundScorer(graph, assignment, edge_loads,
+                                    vertex_loads, group_indptr, group_eids,
+                                    vertices, self.gamma, nu)
+        moved_total = 0
+        stream = vertices.astype(np.int64).copy()
+        for _ in range(self.rounds):
+            rng.shuffle(stream)
+            scorer.start_round(stream)
+            run_chunked_fixpoint(scorer)
+            scorer.vertex_loads[:] = _covered_vertex_counts(
+                graph, assignment, p).astype(np.float64)
+            moved_total += scorer.moved
+            if not scorer.moved:
+                break
+
+        return EdgePartition(graph, p, assignment, method=self.name,
+                             iterations=self.rounds,
+                             extra={"moved_groups": moved_total})
+
+    def _partition_python(self, graph: CSRGraph) -> EdgePartition:
+        p = self.num_partitions
+        assignment, group_vertex, low = self._setup(graph)
 
         # Edge ids grouped by their low-degree grouping vertex.
         groups: dict[int, list[int]] = {}

@@ -19,43 +19,191 @@ replicated first, which suits power-law graphs.  ``lam`` (paper default
 Degrees are the true final degrees (the "offline degree" variant);
 HDRF's original also supports incremental degree estimates, selectable
 with ``use_partial_degrees=True``.
+
+Kernels: ``"vectorized"`` (default) runs the chunked scoring driver of
+:mod:`repro.core.streaming` — whole windows of edges scored against all
+|P| partitions in one pass, replica membership in the shared
+dense/packed-bitset backends; ``"python"`` is the per-edge reference
+loop below, kept verbatim.  ``tests/test_streaming_equivalence.py``
+pins the pair bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.streaming import EdgeStreamScorer, StreamingState, \
+    run_chunked_stream
 from repro.graph.csr import CSRGraph
-from repro.partitioners.base import EdgePartition, Partitioner
+from repro.partitioners.base import EdgePartition, StreamingEdgePartitioner
 
 __all__ = ["HDRFPartitioner"]
 
 
-class HDRFPartitioner(Partitioner):
+class _HDRFScorer(EdgeStreamScorer):
+    """Rowwise form of the reference's per-edge HDRF score.
+
+    The replication term ``g_u + g_v`` depends only on membership rows
+    and degrees — stable across a collision-free window — and is hoisted
+    into the window aux; only the balance term tracks the running loads.
+    """
+
+    def __init__(self, state, u, v, degrees, lam, eps, partial):
+        super().__init__(state, u, v)
+        self.degrees = degrees
+        self.lam = lam
+        self.eps = eps
+        self.partial = partial
+
+    def window_static(self, sl):
+        u, v = self.u[sl], self.v[sl]
+        du = self.degrees[u]
+        dv = self.degrees[v]
+        if self.partial:
+            # The reference bumps both endpoint degrees *before*
+            # scoring; a row whose endpoints were not touched earlier
+            # in the window sees exactly "+1 over the pre-window
+            # count" (touched rows re-derive in the tail walker).
+            du = du + 1
+            dv = dv + 1
+        total = du + dv
+        safe = np.where(total > 0, total, 1)
+        theta_u = np.where(total > 0, du / safe, 0.5)
+        theta_v = np.where(total > 0, dv / safe, 0.5)
+        fu = 1.0 + (1.0 - theta_u)
+        fv = 1.0 + (1.0 - theta_v)
+        in_u = self.state.member_rows(u)
+        in_v = self.state.member_rows(v)
+        return [in_u * fu[:, None] + in_v * fv[:, None], fu, fv]
+
+    def pick(self, aux, rows, loads_mat):
+        maxload = loads_mat.max(axis=1, keepdims=True)
+        minload = loads_mat.min(axis=1, keepdims=True)
+        c_bal = (maxload - loads_mat) / (self.eps + maxload - minload)
+        return (aux[0][rows] + self.lam * c_bal).argmax(axis=1)
+
+    def tail_walk(self, sl, aux, start, stop):
+        G, fu, fv = aux
+        us, vs = self.u[sl], self.v[sl]
+        state = self.state
+        member = state.member
+        loads = state.loads                      # live, walker-committed
+        degrees = self.degrees
+        lam, eps, partial = self.lam, self.eps, self.partial
+        changed = self._changed
+        maxload = int(loads.max())
+        minload = int(loads.min())
+        at_min = int((loads == minload).sum())
+        # Maintained lam * C_bal vector: between max/min shifts only the
+        # placed entry changes, and scalar `-`/`/`/`*` on float64 are
+        # correctly rounded (unlike ``**``), so entry updates are
+        # bit-identical to the reference's whole-vector expression
+        # ``lam * (max - loads) / (eps + max - min)``.
+        denom = eps + maxload - minload
+        lam_cbal = lam * ((maxload - loads) / denom)
+        buf = np.empty(len(loads), dtype=np.float64)
+        out = np.empty(stop - start, dtype=np.int64)
+        for k in range(start, stop):
+            uk = int(us[k])
+            vk = int(vs[k])
+            if partial:
+                degrees[uk] += 1
+                degrees[vk] += 1
+            if uk in changed or vk in changed:
+                if partial:
+                    du, dv = degrees[uk], degrees[vk]
+                    total = du + dv
+                    theta_u = du / total if total else 0.5
+                    theta_v = dv / total if total else 0.5
+                    fu_k = 1.0 + (1.0 - theta_u)
+                    fv_k = 1.0 + (1.0 - theta_v)
+                else:
+                    fu_k, fv_k = fu[k], fv[k]
+                rows = member.rows_bool(np.array([uk, vk]))
+                G[k] = rows[0] * fu_k + rows[1] * fv_k
+            np.add(G[k], lam_cbal, out=buf)
+            t = int(np.argmax(buf))
+            out[k - start] = t
+            loads[t] += 1
+            lt = int(loads[t])
+            shifted = False
+            if lt > maxload:
+                maxload = lt
+                shifted = True
+            if lt - 1 == minload:
+                at_min -= 1
+                if at_min == 0:
+                    minload += 1
+                    at_min = int((loads == minload).sum())
+                    shifted = True
+            if shifted:
+                denom = eps + maxload - minload
+                np.subtract(maxload, loads, out=buf, casting="unsafe")
+                buf /= denom
+                np.multiply(buf, lam, out=lam_cbal)
+            else:
+                lam_cbal[t] = lam * ((maxload - lt) / denom)
+            if not member.get_bit(uk, t):
+                member.set_bit(uk, t)
+                changed.add(uk)
+            if not member.get_bit(vk, t):
+                member.set_bit(vk, t)
+                changed.add(vk)
+            if partial:
+                changed.add(uk)
+                changed.add(vk)
+        return out
+
+    def apply(self, u, v, targets):
+        if self.partial:
+            self.degrees[u] += 1
+            self.degrees[v] += 1
+            # Partial-degree rows also go stale on plain re-occurrence.
+            self._changed.update(u.tolist())
+            self._changed.update(v.tolist())
+
+
+class HDRFPartitioner(StreamingEdgePartitioner):
     """Streaming HDRF with the paper-default scoring."""
 
     name = "hdrf"
 
     def __init__(self, num_partitions: int, seed: int = 0,
                  lam: float = 1.0, eps: float = 1.0,
-                 shuffle: bool = True, use_partial_degrees: bool = False):
-        super().__init__(num_partitions, seed)
+                 shuffle: bool = True, use_partial_degrees: bool = False,
+                 kernel: str = "vectorized"):
+        super().__init__(num_partitions, seed, shuffle=shuffle,
+                         kernel=kernel)
         self.lam = lam
         self.eps = eps
-        self.shuffle = shuffle
         self.use_partial_degrees = use_partial_degrees
 
-    def _partition(self, graph: CSRGraph) -> EdgePartition:
-        p = self.num_partitions
-        order = np.arange(graph.num_edges)
-        if self.shuffle:
-            rng = np.random.default_rng(self.seed)
-            order = rng.permutation(order)
-
+    def _initial_degrees(self, graph: CSRGraph) -> np.ndarray:
         if self.use_partial_degrees:
-            degrees = np.zeros(graph.num_vertices, dtype=np.int64)
-        else:
-            degrees = graph.degrees().astype(np.int64)
+            return np.zeros(graph.num_vertices, dtype=np.int64)
+        return graph.degrees().astype(np.int64)
+
+    def _result(self, graph: CSRGraph, assignment: np.ndarray
+                ) -> EdgePartition:
+        return EdgePartition(graph, self.num_partitions, assignment,
+                             method=self.name,
+                             extra={"lambda": self.lam})
+
+    def _partition_vectorized(self, graph: CSRGraph) -> EdgePartition:
+        order = self.stream_order(graph.num_edges)
+        state = StreamingState(graph.num_vertices, self.num_partitions)
+        scorer = _HDRFScorer(state,
+                             graph.edges[order, 0], graph.edges[order, 1],
+                             self._initial_degrees(graph),
+                             self.lam, self.eps, self.use_partial_degrees)
+        assignment = np.empty(graph.num_edges, dtype=np.int64)
+        assignment[order] = run_chunked_stream(scorer)
+        return self._result(graph, assignment)
+
+    def _partition_python(self, graph: CSRGraph) -> EdgePartition:
+        p = self.num_partitions
+        order = self.stream_order(graph.num_edges)
+        degrees = self._initial_degrees(graph)
 
         # replicas[v] is a bitmask over partitions (p <= 64 in all paper
         # experiments; fall back to python sets above that).
@@ -102,5 +250,4 @@ class HDRFPartitioner(Partitioner):
                 replica_sets[u].add(target)
                 replica_sets[v].add(target)
 
-        return EdgePartition(graph, p, assignment, method=self.name,
-                             extra={"lambda": self.lam})
+        return self._result(graph, assignment)

@@ -13,9 +13,19 @@ The classic three-phase scheme:
    constraint.
 
 The paper's observations about this family are structural — high
-memory (every coarsening level keeps a graph copy; we surface that via
-``extra["coarse_levels_bytes"]``) and strong quality on low-degree
-graphs — and both carry over to this reimplementation.
+memory (every coarsening level keeps a whole weighted-graph copy; we
+surface that via ``extra["coarse_levels_bytes"]``) and strong quality
+on low-degree graphs — and both carry over to this reimplementation.
+
+Levels are stored as CSR arrays (sorted neighbour rows, parallel
+weight array) rather than the former adjacency-of-dicts: heavy-edge
+matching scans flat rows, contraction is one sorted-key segment
+reduction, and ``nbytes()`` prices the arrays actually held.  NOTE:
+neighbour iteration order at coarse levels therefore changed from dict
+insertion order to sorted order, which shifts matching tie-breaks and
+hence assignments — the affected ``benchmarks/results/*.json`` entries
+were regenerated deliberately (see CHANGES.md), per the ROADMAP's
+CSR-row-order note.
 """
 
 from __future__ import annotations
@@ -30,22 +40,36 @@ __all__ = ["MetisLikePartitioner"]
 
 
 class _Level:
-    """One coarsening level: weighted adjacency + projection map."""
+    """One coarsening level: weighted CSR adjacency + projection map.
 
-    def __init__(self, adjacency: list[dict], vertex_weights: np.ndarray,
+    ``indptr`` / ``nbr`` / ``wgt`` hold the symmetrised weighted
+    adjacency with neighbour-sorted rows; ``coarse_of`` maps this
+    level's *finer* predecessor onto it (None for the base level).
+    """
+
+    def __init__(self, indptr: np.ndarray, nbr: np.ndarray,
+                 wgt: np.ndarray, vertex_weights: np.ndarray,
                  coarse_of: np.ndarray | None):
-        self.adjacency = adjacency          # adjacency[v] = {u: edge weight}
+        self.indptr = indptr
+        self.nbr = nbr
+        self.wgt = wgt
         self.vertex_weights = vertex_weights
         self.coarse_of = coarse_of          # fine vertex -> coarse vertex
 
     @property
     def n(self) -> int:
-        return len(self.adjacency)
+        return len(self.indptr) - 1
+
+    def row(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbour ids, edge weights) of ``v``, neighbour-sorted."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.nbr[lo:hi], self.wgt[lo:hi]
 
     def nbytes(self) -> int:
-        """Rough resident size of this level (for the memory model)."""
-        entries = sum(len(a) for a in self.adjacency)
-        return entries * 24 + self.vertex_weights.nbytes
+        """Resident size of this level's graph copy (the memory the
+        paper's multilevel critique is about)."""
+        return (self.indptr.nbytes + self.nbr.nbytes + self.wgt.nbytes
+                + self.vertex_weights.nbytes)
 
 
 class MetisLikePartitioner(Partitioner):
@@ -97,12 +121,12 @@ class MetisLikePartitioner(Partitioner):
 
 
 def _base_level(graph: CSRGraph) -> _Level:
-    adjacency: list[dict] = [dict() for _ in range(graph.num_vertices)]
-    for u, v in graph.edges:
-        adjacency[u][int(v)] = adjacency[u].get(int(v), 0) + 1
-        adjacency[v][int(u)] = adjacency[v].get(int(u), 0) + 1
+    """The input graph as a unit-weight level (its own CSR copy — each
+    level owns its arrays, which is what the memory model prices)."""
     weights = np.ones(graph.num_vertices, dtype=np.int64)
-    return _Level(adjacency, weights, None)
+    return _Level(graph.indptr.copy(), graph.indices.copy(),
+                  np.ones(2 * graph.num_edges, dtype=np.int64),
+                  weights, None)
 
 
 def _coarsen(level: _Level, rng: np.random.Generator) -> _Level:
@@ -113,38 +137,50 @@ def _coarsen(level: _Level, rng: np.random.Generator) -> _Level:
     for v in order:
         if match[v] != -1:
             continue
-        best, best_w = -1, 0
-        for u, w in level.adjacency[v].items():
-            if match[u] == -1 and u != v and w > best_w:
-                best, best_w = u, w
-        if best != -1:
+        nbrs, wgts = level.row(v)
+        free = (match[nbrs] == -1) & (nbrs != v)
+        if free.any():
+            # Heaviest free neighbour; ties -> first in row order
+            # (neighbour-sorted, so the smallest id).
+            cand = np.where(free, wgts, 0)
+            best = int(nbrs[np.argmax(cand)])
             match[v] = best
             match[best] = v
         else:
             match[v] = v  # unmatched: contracts alone
 
-    coarse_of = np.full(n, -1, dtype=np.int64)
-    next_id = 0
-    for v in range(n):
-        if coarse_of[v] != -1:
-            continue
-        coarse_of[v] = next_id
-        partner = match[v]
-        if partner != v and coarse_of[partner] == -1:
-            coarse_of[partner] = next_id
-        next_id += 1
+    # Pairs contract onto ids assigned in ascending order of their
+    # smaller constituent — the order a 0..n-1 first-seen sweep yields.
+    rep = np.minimum(np.arange(n, dtype=np.int64), match)
+    _, coarse_of = np.unique(rep, return_inverse=True)
+    next_id = int(coarse_of.max()) + 1 if n else 0
 
-    adjacency: list[dict] = [dict() for _ in range(next_id)]
-    weights = np.zeros(next_id, dtype=np.int64)
-    for v in range(n):
-        cv = coarse_of[v]
-        weights[cv] += level.vertex_weights[v]
-        for u, w in level.adjacency[v].items():
-            cu = coarse_of[u]
-            if cu == cv:
-                continue
-            adjacency[cv][int(cu)] = adjacency[cv].get(int(cu), 0) + w
-    return _Level(adjacency, weights, coarse_of)
+    # Contract the weighted adjacency: map both endpoints of every slot,
+    # drop intra-pair slots, and merge parallel edges with one sorted
+    # segment reduction.  Rows come out neighbour-sorted.
+    counts = np.diff(level.indptr)
+    cu = np.repeat(coarse_of, counts)
+    cv = coarse_of[level.nbr]
+    keep = cu != cv
+    key = cu[keep] * next_id + cv[keep]
+    if len(key):
+        order_k = np.argsort(key, kind="stable")
+        key_s = key[order_k]
+        wgt_s = level.wgt[keep][order_k]
+        seg = np.flatnonzero(np.concatenate(([True],
+                                             key_s[1:] != key_s[:-1])))
+        uniq = key_s[seg]
+        merged = np.add.reduceat(wgt_s, seg)
+    else:
+        uniq = key
+        merged = level.wgt[:0]
+
+    indptr = np.zeros(next_id + 1, dtype=np.int64)
+    np.cumsum(np.bincount(uniq // next_id, minlength=next_id),
+              out=indptr[1:])
+    weights = np.bincount(coarse_of, weights=level.vertex_weights,
+                          minlength=next_id).astype(np.int64)
+    return _Level(indptr, uniq % next_id, merged, weights, coarse_of)
 
 
 def _region_grow(level: _Level, k: int, balance: float,
@@ -171,7 +207,7 @@ def _region_grow(level: _Level, k: int, balance: float,
             if loads[i] >= capacity or not frontiers[i]:
                 continue
             v = frontiers[i].pop()
-            for u in level.adjacency[v]:
+            for u in level.row(v)[0]:
                 if labels[u] == -1 and loads[i] + level.vertex_weights[u] <= capacity:
                     labels[u] = i
                     loads[i] += level.vertex_weights[u]
@@ -200,18 +236,15 @@ def _fm_refine(level: _Level, labels: np.ndarray, k: int, balance: float,
         rng.shuffle(order)
         moved = 0
         for v in order:
-            adj = level.adjacency[v]
-            if not adj:
+            nbrs, wgts = level.row(v)
+            if not len(nbrs):
                 continue
             current = labels[v]
-            gains = np.zeros(k, dtype=np.float64)
-            internal = 0.0
-            for u, w in adj.items():
-                if labels[u] == current:
-                    internal += w
-                else:
-                    gains[labels[u]] += w
-            gains -= internal
+            # Weighted neighbour-label histogram; the gain of staying
+            # (the internal weight) is subtracted from every move.
+            gains = np.bincount(labels[nbrs], weights=wgts,
+                                minlength=k)
+            gains -= gains[current]
             w_v = level.vertex_weights[v]
             gains[loads + w_v > capacity] = -np.inf
             gains[current] = 0.0

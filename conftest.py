@@ -1,0 +1,15 @@
+"""Root pytest configuration.
+
+Registers the ``--workers`` option here (the rootdir conftest is the
+one place pytest guarantees ``pytest_addoption`` hooks load for every
+invocation) so the execution-backend tests can be driven at different
+parallelism levels — tier-1 keeps the small default, the dedicated CI
+backends job passes ``--workers 4``.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=2,
+        help="worker count for the execution-backend equivalence tests "
+             "(tests/test_backends.py); the CI backends job runs 4")

@@ -16,6 +16,22 @@ speedups it claims and future PRs can track regressions:
   cluster of expansion processes at ``selection_partitions`` machines
   (array-backed queue + batched membership + ndarray payloads vs the
   heapq/tuple-list reference);
+* ``dne_p256`` — the |P| ≫ 64 *end-to-end* weak-scaling row: one full
+  Distributed NE run per kernel at ``wide_partitions`` machines,
+  exercising the packed-bitset membership end-to-end.  No smoke floor:
+  at bench scales each machine's per-iteration batches are tiny (a
+  2^17-edge graph over 256 machines leaves ~70 edges per partition
+  budget), so the vectorized kernel's per-call setup can outweigh its
+  batching — the row records where the crossover actually sits rather
+  than hiding it;
+* ``dne_backend_threads`` / ``dne_backend_processes`` — execution
+  backends (``repro.cluster.backends``): one full DNE run per backend
+  against the ``simulated`` scheduler baseline at the same scale
+  (``python_seconds`` is the simulated baseline, ``vectorized_seconds``
+  the parallel backend's wall clock; explicit ``simulated_seconds`` /
+  ``backend_seconds`` aliases are included).  Wall-clock here is
+  hardware-honest: with fewer cores than workers the parallel backends
+  cannot beat the inline scheduler, and the row says so;
 * ``hdrf`` / ``fennel`` / ``oblivious`` — the streaming-baseline zoo
   on the shared chunked-scoring substrate (``core/streaming.py``): a
   full partition run per kernel at ``streaming_partitions`` machines,
@@ -46,12 +62,14 @@ tier-1 so kernel regressions fail fast.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 
 import numpy as np
 
 from repro.apps.engine import AppRunStats, DistributedGraphEngine
+from repro.cluster.backends import validate_backend
 from repro.cluster.runtime import Process, SimulatedCluster, _same_machine
 from repro.core.allocation import (TAG_BOUNDARY, TAG_EDGES, TAG_SELECT,
                                    TAG_SYNC, AllocationProcess)
@@ -65,8 +83,8 @@ from repro.partitioners.ne import NEPartitioner
 
 __all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
            "bench_two_hop_conflict", "bench_selection_phase",
-           "bench_streaming_partitioner", "bench_sheep_order",
-           "bench_ne_expand", "bench_engine_gathers",
+           "bench_dne_end_to_end", "bench_streaming_partitioner",
+           "bench_sheep_order", "bench_ne_expand", "bench_engine_gathers",
            "bench_all_gather_sum", "bench_csr_build"]
 
 #: RMAT edge factor used by every perf graph.
@@ -280,6 +298,20 @@ def bench_selection_phase(graph: CSRGraph, partitions: int, kernel: str,
 
 
 # ----------------------------------------------------------------------
+# DNE end-to-end (weak scaling + execution backends)
+# ----------------------------------------------------------------------
+def bench_dne_end_to_end(graph: CSRGraph, partitions: int, kernel: str,
+                         backend: str = "simulated",
+                         workers: int | None = None) -> float:
+    """Seconds for one full Distributed NE partition run."""
+    from repro.core.distributed_ne import DistributedNE
+    t0 = time.perf_counter()
+    DistributedNE(partitions, seed=0, kernel=kernel, backend=backend,
+                  workers=workers).partition(graph)
+    return time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
 # Streaming-baseline zoo (shared core/streaming.py substrate)
 # ----------------------------------------------------------------------
 def bench_streaming_partitioner(name: str, graph: CSRGraph,
@@ -420,6 +452,9 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
              selection_partitions: int = 64,
              streaming_partitions: int = 64,
              wide_partitions: int = 256,
+             backends=("threads", "processes"),
+             backend_workers: int = 4,
+             backend_scales=(18,),
              out: str | None = "BENCH_kernels.json",
              seed: int = 0) -> dict:
     """Time every kernel pair at each scale; optionally write JSON.
@@ -433,13 +468,27 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
     selection phase eating into the wall clock);
     ``streaming_partitions`` drives the streaming-baseline rows
     (default 64, the Table-4/5 sweep scale) and ``wide_partitions``
-    the |P| ≫ 64 weak-scaling row exercising packed-bitset membership
-    end-to-end (default 256).
+    the |P| ≫ 64 weak-scaling rows (``hdrf_p256`` and the end-to-end
+    ``dne_p256``) exercising packed-bitset membership (default 256).
+
+    ``backends`` / ``backend_workers`` / ``backend_scales`` drive the
+    execution-backend rows: one full vectorized DNE run per backend at
+    ``partitions`` machines on each ``backend_scales`` graph, against
+    the inline ``simulated`` scheduler as the baseline.  Pass an empty
+    ``backends`` to skip.  The recorded wall clock is whatever the host
+    delivers — on a single-core container the parallel backends lose
+    to the inline scheduler and the rows say so.
 
     Returns the result document: ``{"meta": ..., "kernels": [rows]}``
     with one row per (kernel, scale) holding both kernels' seconds and
     the speedup ratio.
     """
+    # Fail before the multi-minute kernel sweep, not in the
+    # backend-row loop after it.
+    if backends and backend_workers < 1:
+        raise ValueError("backend_workers must be >= 1")
+    for name in backends:
+        validate_backend(name)
     rows = []
     for edge_scale in edge_scales:
         graph = bench_graph(edge_scale, seed=seed)
@@ -462,6 +511,14 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
                          py[0], vec[0]))
         rows.append(_row("dne_boundary_fold", edge_scale, graph,
                          py[1], vec[1]))
+
+        # |P| >> 64 end-to-end weak scaling (packed membership).  No
+        # smoke floor: per-machine batches are tiny at bench scales, so
+        # this row tracks the honest crossover (see module docstring).
+        rows.append(_row(
+            f"dne_p{wide_partitions}", edge_scale, graph,
+            bench_dne_end_to_end(graph, wide_partitions, "python"),
+            bench_dne_end_to_end(graph, wide_partitions, "vectorized")))
 
         # oblivious is included without a smoke floor: its reference
         # per-edge set probes win at every measured |P| (which is why
@@ -503,6 +560,26 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
                      bench_all_gather_sum(partitions, "python"),
                      bench_all_gather_sum(partitions, "vectorized")))
 
+    # Execution-backend rows: full vectorized DNE, simulated scheduler
+    # vs real parallel workers.
+    for edge_scale in (backend_scales if backends else ()):
+        graph = bench_graph(edge_scale, seed=seed)
+        t_sim = bench_dne_end_to_end(graph, partitions, "vectorized")
+        for backend in backends:
+            t_backend = bench_dne_end_to_end(
+                graph, partitions, "vectorized", backend=backend,
+                workers=backend_workers)
+            row = _row(f"dne_backend_{backend}", edge_scale, graph,
+                       t_sim, t_backend)
+            row.update({
+                "baseline": "simulated",
+                "backend": backend,
+                "workers": backend_workers,
+                "simulated_seconds": row["python_seconds"],
+                "backend_seconds": row["vectorized_seconds"],
+            })
+            rows.append(row)
+
     doc = {
         "meta": {
             "generated_by": "repro bench perf",
@@ -513,6 +590,10 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
             "selection_partitions": selection_partitions,
             "streaming_partitions": streaming_partitions,
             "wide_partitions": wide_partitions,
+            "backends": list(backends),
+            "backend_workers": backend_workers,
+            "backend_scales": list(backend_scales),
+            "cpu_count": os.cpu_count(),
             "seed": seed,
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.bench import experiments as experiment_drivers
 from repro.bench.harness import format_table
+from repro.cluster.backends import BACKENDS
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.edgelist import load_edges_tsv
@@ -78,6 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="implementation to run for methods with a "
                              "kernel= flag (default: the method's own "
                              "default, i.e. vectorized)")
+    p_part.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend for methods with a "
+                             "backend= flag (distributed_ne, sne): "
+                             "simulated scheduler, thread pool, or "
+                             "shared-memory worker processes "
+                             "(default: simulated)")
+    p_part.add_argument("--workers", type=int, default=None,
+                        help="worker count for the threads/processes "
+                             "backends (default 4)")
     p_part.add_argument("--out", help="write result to this .npz path")
 
     p_inspect = sub.add_parser("inspect",
@@ -109,7 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 64)")
     p_perf.add_argument("--wide-partitions", type=int, default=256,
                         help="|P| for the packed-membership weak-scaling "
-                             "row (default 256)")
+                             "rows (default 256)")
+    p_perf.add_argument("--backend", nargs="*", dest="backends",
+                        choices=("threads", "processes"),
+                        default=["threads", "processes"],
+                        metavar="BACKEND",
+                        help="execution backends to time against the "
+                             "simulated scheduler on a full DNE run "
+                             "(default: threads processes; pass with no "
+                             "values to skip the backend rows)")
+    p_perf.add_argument("--workers", type=int, default=4,
+                        help="worker count for the backend rows "
+                             "(default 4)")
+    p_perf.add_argument("--backend-scales", type=int, nargs="+",
+                        default=[18], metavar="LOG2_EDGES",
+                        help="log2 edge counts for the backend rows "
+                             "(default: 18)")
     p_perf.add_argument("--seed", type=int, default=0)
     p_perf.add_argument("--out", default="BENCH_kernels.json",
                         help="JSON output path ('-' to skip writing)")
@@ -150,17 +175,34 @@ def _cmd_partition(args) -> int:
           f"{graph.num_edges} edges")
 
     cls = PARTITIONER_REGISTRY[args.method]
+    params = inspect.signature(cls.__init__).parameters
     kwargs = {}
     if args.kernel is not None:
-        if "kernel" not in inspect.signature(cls.__init__).parameters:
+        if "kernel" not in params:
             print(f"error: method {args.method!r} has no kernel= flag",
                   file=sys.stderr)
             return 2
         kwargs["kernel"] = args.kernel
+    if args.workers is not None and args.backend not in ("threads",
+                                                         "processes"):
+        print("error: --workers requires --backend threads|processes",
+              file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        if "backend" not in params:
+            print(f"error: method {args.method!r} has no backend= flag",
+                  file=sys.stderr)
+            return 2
+        kwargs["backend"] = args.backend
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
     result = cls(args.partitions, seed=args.seed, **kwargs).partition(graph)
     print(f"method={result.method} partitions={args.partitions}")
-    if kwargs:
+    if args.kernel is not None:
         print(f"  kernel             : {args.kernel}")
+    if args.backend is not None:
+        print(f"  backend            : {args.backend}"
+              + (f" ({args.workers} workers)" if args.workers else ""))
     print(f"  replication factor : {result.replication_factor():.3f}")
     print(f"  edge balance       : {result.edge_balance():.3f}")
     print(f"  vertex balance     : {result.vertex_balance():.3f}")
@@ -205,6 +247,9 @@ def _cmd_bench(args) -> int:
                    selection_partitions=args.selection_partitions,
                    streaming_partitions=args.streaming_partitions,
                    wide_partitions=args.wide_partitions,
+                   backends=tuple(args.backends),
+                   backend_workers=args.workers,
+                   backend_scales=tuple(args.backend_scales),
                    out=out, seed=args.seed)
     headers = ["kernel", "edge_scale", "edges",
                "python_seconds", "vectorized_seconds", "speedup"]

@@ -12,6 +12,9 @@ structures.
 * :mod:`repro.cluster.accounting` — counters and the byte-sizing model.
 * :mod:`repro.cluster.runtime` — :class:`SimulatedCluster` and
   :class:`Process`.
+* :mod:`repro.cluster.backends` — pluggable superstep execution:
+  the inline deterministic scheduler, a thread pool, or
+  shared-memory worker processes, all bit-identical on accounting.
 """
 
 from repro.cluster.accounting import ClusterStats, ProcessStats, payload_nbytes

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["payload_nbytes", "ProcessStats", "ClusterStats"]
+__all__ = ["payload_nbytes", "record_rpc_pair", "ProcessStats",
+           "ClusterStats"]
 
 _SCALAR_BYTES = 8
 
@@ -52,6 +53,22 @@ def payload_nbytes(payload) -> int:
     if hasattr(payload, "__dict__"):
         return payload_nbytes(vars(payload))
     raise TypeError(f"cannot size payload of type {type(payload)!r}")
+
+
+def record_rpc_pair(stats: "ClusterStats", requester, responder,
+                    nbytes: int) -> None:
+    """Account one synchronous request/response exchange.
+
+    ``nbytes`` each way: a send+receive pair on both sides, no mailbox
+    message.  The single home of this pricing rule — used at call time
+    by ``Process.account_rpc_pair`` (simulated scheduler) and at replay
+    time by the execution backends' outbox replay; the two must never
+    diverge.
+    """
+    stats.stats_for(requester).record_send(nbytes)
+    stats.stats_for(responder).record_receive(nbytes)
+    stats.stats_for(responder).record_send(nbytes)
+    stats.stats_for(requester).record_receive(nbytes)
 
 
 @dataclass

@@ -1,0 +1,48 @@
+"""Pluggable execution backends for the simulated cluster.
+
+``backend="simulated" | "threads" | "processes"`` selects who executes
+the per-partition steps between barriers — the deterministic inline
+reference scheduler, a thread pool over the GIL-releasing NumPy
+kernels, or worker processes with the big arrays mapped through
+``multiprocessing.shared_memory``.  All three produce bit-identical
+assignments and accounting totals (see
+:mod:`repro.cluster.backends.base` for the contract and
+``tests/test_backends.py`` for the pins).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.backends.base import (BACKENDS, ExecutionBackend,
+                                         SimulatedBackend, StepResult,
+                                         WorkerStepError, apply_outbox,
+                                         validate_backend)
+from repro.cluster.backends.processes import ProcessesBackend, WorkerProgram
+from repro.cluster.backends.shm import ShmArena, graph_from_views, \
+    graph_to_arrays
+from repro.cluster.backends.threads import ThreadsBackend
+
+__all__ = ["BACKENDS", "validate_backend", "create_backend",
+           "ExecutionBackend", "SimulatedBackend", "ThreadsBackend",
+           "ProcessesBackend", "WorkerProgram", "StepResult",
+           "WorkerStepError", "apply_outbox", "ShmArena",
+           "graph_to_arrays", "graph_from_views"]
+
+#: default worker count for the parallel backends when none is given
+DEFAULT_WORKERS = 4
+
+
+def create_backend(backend: str, workers: int | None = None
+                   ) -> ExecutionBackend:
+    """Instantiate a backend by name.
+
+    ``workers`` is ignored by ``simulated``; the parallel backends
+    default to :data:`DEFAULT_WORKERS`.
+    """
+    validate_backend(backend)
+    if workers is None:
+        workers = DEFAULT_WORKERS
+    if backend == "simulated":
+        return SimulatedBackend()
+    if backend == "threads":
+        return ThreadsBackend(workers)
+    return ProcessesBackend(workers)

@@ -1,0 +1,180 @@
+"""Execution-backend contract: who runs the steps between barriers.
+
+The simulated cluster (:mod:`repro.cluster.runtime`) models a
+bulk-synchronous program: per superstep, every process runs one step
+method (compute + sends), then a barrier delivers and prices the
+traffic.  This module carves that *superstep contract* out of the
+driver loops so the same Process/barrier programs run unchanged on
+three schedulers:
+
+* ``simulated`` — :class:`SimulatedBackend`, the in-process reference:
+  steps run sequentially in list order with immediate effect on the
+  cluster, exactly the pre-backend behaviour.
+* ``threads`` — :mod:`repro.cluster.backends.threads`: steps run on a
+  thread pool.  The NumPy kernels release the GIL, so batched
+  gathers/scatters genuinely overlap.
+* ``processes`` — :mod:`repro.cluster.backends.processes`: steps run in
+  worker processes holding the big arrays as zero-copy
+  ``multiprocessing.shared_memory`` views; only the barrier-batched
+  ``(src, dst, tag)`` payload buffers cross the parent boundary.
+
+The deterministic-equivalence rule every parallel backend must obey:
+a step executes with its outbox armed (``Process._outbox``), so its
+sends / resident reports / RPC accounting are *recorded*, and the
+parent replays all outboxes via :func:`apply_outbox` in the order the
+steps were listed.  Replay performs the identical call sequence the
+simulated scheduler would have made, so message/byte/memory totals and
+mailbox delivery order are bit-identical across backends (pinned by
+``tests/test_backends.py``).
+
+Contract summary
+----------------
+``run_superstep(steps, gather=())`` takes ``steps`` as a list of
+``(pid, method_name, args)`` triples; every named method must be a
+step function: it may read shared *read-only* structures (graph CSR,
+placement), mutate only its own process state, and emit effects only
+through the outbox-capable :class:`~repro.cluster.runtime.Process`
+helpers.  The return maps ``pid -> StepResult(value, seconds,
+gathered)`` where ``gathered`` holds the requested post-step attribute
+values (the per-barrier merge of worker-local counters).  A step that
+raises surfaces as :class:`WorkerStepError` carrying the pid — no
+hang, no silent loss.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.accounting import record_rpc_pair
+
+__all__ = ["BACKENDS", "validate_backend", "StepResult", "WorkerStepError",
+           "ExecutionBackend", "SimulatedBackend", "apply_outbox"]
+
+#: valid values for every ``backend=`` argument
+BACKENDS = ("simulated", "threads", "processes")
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` unchanged, or raise ``ValueError``."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}")
+    return backend
+
+
+class WorkerStepError(RuntimeError):
+    """A step function raised (or its worker died) on a parallel backend.
+
+    ``pid`` identifies the failing process, so a crash inside worker 3
+    of 64 surfaces as "step failed in process ('alloc', 3)" instead of
+    a bare traceback from an anonymous pool thread.
+    """
+
+    def __init__(self, pid, detail: str):
+        super().__init__(f"step failed in process {pid!r}: {detail}")
+        self.pid = pid
+        self.detail = detail
+
+
+@dataclass
+class StepResult:
+    """Outcome of one step: return value, compute seconds, gathered attrs."""
+
+    value: object
+    seconds: float
+    gathered: dict = field(default_factory=dict)
+
+
+def apply_outbox(cluster, src_pid, outbox: list) -> None:
+    """Replay one step's recorded effects against the parent cluster.
+
+    Entries are the exact calls the step would have made inline
+    (``send`` -> per-message accounting + in-flight queue, ``batched``
+    -> per-(src, dst, tag) buffer append, ``resident`` -> memory
+    report, ``rpc`` -> the seed-scan request/response counter pattern),
+    so replaying every step's outbox in step-list order reproduces the
+    simulated scheduler's cluster state bit-for-bit.
+    """
+    stats = cluster.stats
+    for entry in outbox:
+        kind = entry[0]
+        if kind == "batched":
+            cluster._send_batched(src_pid, entry[1], entry[2], entry[3])
+        elif kind == "send":
+            cluster._send(src_pid, entry[1], entry[2], entry[3])
+        elif kind == "resident":
+            stats.stats_for(src_pid).set_resident(entry[1], entry[2])
+        elif kind == "rpc":
+            record_rpc_pair(stats, src_pid, entry[1], entry[2])
+        else:  # pragma: no cover - corrupted outbox entry
+            raise ValueError(f"unknown outbox entry kind {kind!r}")
+
+
+class ExecutionBackend:
+    """Base class; see the module docstring for the contract."""
+
+    name: str = "?"
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, cluster, processes) -> None:
+        """Bind the backend to a cluster and its (local) processes.
+
+        Parallel in-process backends index ``processes`` by pid;
+        the processes backend overrides the whole lifecycle (its
+        process objects live in the workers).
+        """
+        self.cluster = cluster
+        self._procs = {proc.pid: proc for proc in processes}
+
+    def close(self) -> None:
+        """Release workers/pools/shared segments.  Idempotent."""
+
+    # -- superstep execution -------------------------------------------
+    def run_superstep(self, steps, gather=()) -> dict:
+        raise NotImplementedError
+
+    # -- out-of-phase access -------------------------------------------
+    def gather(self, pids, attrs) -> dict:
+        """Read cheap per-process counters: ``{pid: {attr: value}}``."""
+        return {pid: {a: getattr(self._procs[pid], a) for a in attrs}
+                for pid in pids}
+
+    def call_all(self, pids, method: str) -> dict:
+        """Invoke a no-argument method on each pid (collect phase)."""
+        return {pid: getattr(self._procs[pid], method)() for pid in pids}
+
+    # -- whole-graph offload -------------------------------------------
+    def run_graph_task(self, fn, graph, *args):
+        """Run ``fn(graph, *args)`` on this backend's compute resource.
+
+        The escape hatch for partitioners that are one sequential
+        program rather than a Process/barrier ensemble (SNE's bounded
+        stream): ``simulated`` runs inline, ``threads`` on a worker
+        thread, ``processes`` in a worker process with the graph mapped
+        through shared memory.  ``fn`` must be a module-level function
+        of picklable arguments returning picklable results.
+        """
+        return fn(graph, *args)
+
+
+class SimulatedBackend(ExecutionBackend):
+    """The reference scheduler: sequential, immediate-effect steps.
+
+    Unchanged semantics from the pre-backend driver loops — steps run
+    inline in list order with ``Process._outbox`` left unarmed, so
+    every send/report hits the cluster at call time.  This is the
+    backend every parallel one is pinned against.
+    """
+
+    name = "simulated"
+
+    def run_superstep(self, steps, gather=()) -> dict:
+        out = {}
+        for pid, method, args in steps:
+            proc = self._procs[pid]
+            t0 = time.perf_counter()
+            value = getattr(proc, method)(*args)
+            seconds = time.perf_counter() - t0
+            out[pid] = StepResult(value, seconds,
+                                  {a: getattr(proc, a) for a in gather})
+        return out

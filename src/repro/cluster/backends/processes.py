@@ -1,0 +1,346 @@
+"""Multiprocessing execution backend.
+
+Real OS processes run the supersteps.  The big read-only structures —
+the CSR graph arrays and the flat per-partition state — are mapped
+into every worker as zero-copy ``multiprocessing.shared_memory`` views
+(:mod:`repro.cluster.backends.shm`); the only data crossing the parent
+boundary per superstep is the barrier-batched ``(src, dst, tag)``
+payload buffers (worker outboxes in, drained mailboxes out) plus small
+counter gathers.
+
+Topology: each worker owns a fixed subset of the cluster's process
+ids for the whole run — process objects are *built inside* the worker
+(from a picklable :class:`WorkerProgram`) and never travel.  Per
+superstep the parent
+
+1. routes each step to the worker owning its pid and ships, to every
+   worker, the mailbox entries delivered (at the last barrier) for the
+   pids it owns;
+2. workers run their steps with outboxes armed, against a local
+   mailbox-only cluster;
+3. the parent merges the returned outboxes in global step-list order
+   via :func:`~repro.cluster.backends.base.apply_outbox`, so pricing,
+   totals, and delivery order are bit-identical to the simulated
+   scheduler.
+
+A step exception travels back as a ``("step_error", pid, traceback)``
+reply — every request gets exactly one reply, so a crash surfaces as
+:class:`~repro.cluster.backends.base.WorkerStepError` naming the
+partition, never as a hang; a dead worker surfaces as ``EOFError`` on
+its pipe, repackaged the same way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+
+from repro.cluster.backends.base import (ExecutionBackend, StepResult,
+                                         WorkerStepError, apply_outbox)
+from repro.cluster.backends.shm import ShmArena, graph_from_views, \
+    graph_to_arrays
+from repro.cluster.runtime import SimulatedCluster
+
+__all__ = ["ProcessesBackend", "WorkerProgram"]
+
+
+def _mp_context():
+    """Prefer fork (fast, inherits the parent image); fall back to spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class WorkerProgram:
+    """Picklable recipe for building one worker's share of the cluster.
+
+    Subclasses implement :meth:`build`, constructing the process
+    objects for the pids this worker owns from the attached
+    shared-memory views.  Runs once per worker at startup; everything
+    it needs must either be picklable constructor state or live in an
+    arena.
+    """
+
+    def build(self, owned_pids, views: dict) -> dict:
+        """Return ``{pid: Process}`` for ``owned_pids``.
+
+        ``views`` maps arena name -> attached :class:`ShmArena`.
+        """
+        raise NotImplementedError
+
+
+def _worker_main(conn, program: WorkerProgram, owned_pids,
+                 arena_specs: dict) -> None:
+    views = {name: ShmArena.attach(spec)
+             for name, spec in arena_specs.items()}
+    try:
+        procs = program.build(owned_pids, views)
+        # Initial resident reports (made in constructors, before any
+        # cluster attach) travel to the parent accountant with the
+        # ready handshake.
+        pending = {pid: dict(proc._pending_resident)
+                   for pid, proc in procs.items()}
+        # Worker-local cluster: mailboxes only.  All accounting flows
+        # through outboxes; steps never send eagerly here because the
+        # outbox is always armed while they run.
+        wcluster = SimulatedCluster()
+        for pid in owned_pids:
+            wcluster.add_process(procs[pid])
+        conn.send(("ready", pending))
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "step":
+                _, items, inbox, gather = msg
+                for key, delivered in inbox:
+                    wcluster._delivered[key].extend(delivered)
+                results = []
+                failure = None
+                for idx, pid, method, args in items:
+                    proc = procs[pid]
+                    outbox: list = []
+                    proc._outbox = outbox
+                    t0 = time.perf_counter()
+                    try:
+                        value = getattr(proc, method)(*args)
+                    except Exception:  # noqa: BLE001 - shipped to parent
+                        failure = (pid, traceback.format_exc())
+                        break
+                    finally:
+                        proc._outbox = None
+                    seconds = time.perf_counter() - t0
+                    gathered = {a: getattr(proc, a) for a in gather}
+                    results.append((idx, pid, value, seconds, outbox,
+                                    gathered))
+                if failure is not None:
+                    conn.send(("step_error", failure[0], failure[1]))
+                else:
+                    conn.send(("step_ok", results))
+            elif kind == "gather":
+                _, requests = msg
+                conn.send(("ok", {
+                    pid: {a: getattr(procs[pid], a) for a in attrs}
+                    for pid, attrs in requests}))
+            elif kind == "call":
+                _, requests = msg
+                try:
+                    conn.send(("ok", {pid: getattr(procs[pid], method)()
+                                      for pid, method in requests}))
+                except Exception:  # noqa: BLE001 - shipped to parent
+                    conn.send(("call_error", traceback.format_exc()))
+            elif kind == "close":
+                conn.send(("ok", None))
+                return
+    finally:
+        for view in views.values():
+            view.close()
+        conn.close()
+
+
+def _graph_task_worker(conn, fn, arena_spec, args) -> None:
+    arena = ShmArena.attach(arena_spec)
+    try:
+        graph = graph_from_views(arena)
+        try:
+            conn.send(("ok", fn(graph, *args)))
+        except Exception:  # noqa: BLE001 - shipped to parent
+            conn.send(("error", traceback.format_exc()))
+    finally:
+        arena.close()
+        conn.close()
+
+
+class ProcessesBackend(ExecutionBackend):
+    """Superstep scheduler over persistent worker processes."""
+
+    name = "processes"
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._ctx = _mp_context()
+        self._procs_mp: list = []
+        self._conns: list = []
+        self._arenas: dict = {}
+        self._worker_of: dict = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self, cluster, program: WorkerProgram, pid_to_worker: dict,
+              arenas: dict) -> None:
+        """Spawn workers and build their process shares.
+
+        ``pid_to_worker`` maps every cluster pid to a worker index in
+        ``[0, workers)``; ``arenas`` maps name -> parent-created
+        :class:`ShmArena` (ownership passes to the backend: closed and
+        unlinked at :meth:`close`).
+        """
+        self.cluster = cluster
+        self._arenas = dict(arenas)
+        nworkers = self.workers
+        self._worker_of = {pid: w % nworkers
+                           for pid, w in pid_to_worker.items()}
+        owned = [[] for _ in range(nworkers)]
+        for pid, w in self._worker_of.items():
+            owned[w].append(pid)
+        specs = {name: arena.spec() for name, arena in self._arenas.items()}
+        for w in range(nworkers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, program, owned[w], specs),
+                daemon=True, name=f"repro-backend-{w}")
+            proc.start()
+            child_conn.close()
+            self._procs_mp.append(proc)
+            self._conns.append(parent_conn)
+        self._started = True
+        # Ready handshake: forward constructor-time resident reports to
+        # the parent accountant (per-pid, so application order across
+        # pids cannot change any per-process peak).
+        for w in range(nworkers):
+            reply = self._recv(w)
+            for pid, resident in reply[1].items():
+                stats = cluster.stats.stats_for(pid)
+                for name, nbytes in resident.items():
+                    stats.set_resident(name, nbytes)
+
+    def _send_to(self, w: int, msg) -> None:
+        # A worker killed between supersteps (OOM, segfault) surfaces
+        # on the *send* side as a broken pipe; wrap it the same way as
+        # the recv side so the error contract (WorkerStepError naming
+        # the worker, never an anonymous pipe traceback) holds.
+        try:
+            self._conns[w].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerStepError(
+                f"worker-{w}", f"worker process died: {exc!r}") from exc
+
+    def _recv(self, w: int):
+        try:
+            reply = self._conns[w].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerStepError(
+                f"worker-{w}", f"worker process died: {exc!r}") from exc
+        return reply
+
+    # ------------------------------------------------------------------
+    def run_superstep(self, steps, gather=()) -> dict:
+        assert self._started, "backend not started"
+        nworkers = len(self._conns)
+        per_worker = [[] for _ in range(nworkers)]
+        for idx, (pid, method, args) in enumerate(steps):
+            per_worker[self._worker_of[pid]].append((idx, pid, method, args))
+        # Ship every owned pid's freshly-delivered mail along with the
+        # step list (exactly the payload buffers the last barrier
+        # priced; ownership transfers to the worker mailbox).
+        inboxes = [[] for _ in range(nworkers)]
+        delivered = self.cluster._delivered
+        for key in list(delivered.keys()):
+            w = self._worker_of.get(key[0])
+            if w is not None:
+                inboxes[w].append((key, delivered.pop(key)))
+        gather = tuple(gather)
+        for w in range(nworkers):
+            self._send_to(w, ("step", per_worker[w], inboxes[w], gather))
+        results = []
+        failure = None
+        for w in range(nworkers):
+            reply = self._recv(w)
+            if reply[0] == "step_error" and failure is None:
+                failure = (reply[1], reply[2])
+            elif reply[0] == "step_ok":
+                results.extend(reply[1])
+        if failure is not None:
+            raise WorkerStepError(failure[0], failure[1])
+        # Merge outboxes in global step-list order: the exact call
+        # sequence the simulated scheduler would have made.
+        results.sort(key=lambda item: item[0])
+        out = {}
+        for _, pid, value, seconds, outbox, gathered in results:
+            apply_outbox(self.cluster, pid, outbox)
+            out[pid] = StepResult(value, seconds, gathered)
+        return out
+
+    # ------------------------------------------------------------------
+    def gather(self, pids, attrs) -> dict:
+        attrs = tuple(attrs)
+        nworkers = len(self._conns)
+        per_worker = [[] for _ in range(nworkers)]
+        for pid in pids:
+            per_worker[self._worker_of[pid]].append((pid, attrs))
+        active = [w for w in range(nworkers) if per_worker[w]]
+        for w in active:
+            self._send_to(w, ("gather", per_worker[w]))
+        out = {}
+        for w in active:
+            out.update(self._recv(w)[1])
+        return out
+
+    def call_all(self, pids, method: str) -> dict:
+        nworkers = len(self._conns)
+        per_worker = [[] for _ in range(nworkers)]
+        for pid in pids:
+            per_worker[self._worker_of[pid]].append((pid, method))
+        active = [w for w in range(nworkers) if per_worker[w]]
+        for w in active:
+            self._send_to(w, ("call", per_worker[w]))
+        out = {}
+        for w in active:
+            reply = self._recv(w)
+            if reply[0] == "call_error":
+                raise WorkerStepError(f"worker-{w}", reply[1])
+            out.update(reply[1])
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            conn.close()
+        for proc in self._procs_mp:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns = []
+        self._procs_mp = []
+        for arena in self._arenas.values():
+            arena.close()
+            arena.unlink()
+        self._arenas = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def run_graph_task(self, fn, graph, *args):
+        """One-shot offload: graph via shared memory, result via pipe."""
+        arena = ShmArena.create(graph_to_arrays(graph))
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_graph_task_worker,
+            args=(child_conn, fn, arena.spec(), args),
+            daemon=True, name="repro-graph-task")
+        proc.start()
+        child_conn.close()
+        try:
+            try:
+                reply = parent_conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerStepError(
+                    "graph-task", f"worker process died: {exc!r}") from exc
+            if reply[0] == "error":
+                raise WorkerStepError("graph-task", reply[1])
+            return reply[1]
+        finally:
+            parent_conn.close()
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+            arena.close()
+            arena.unlink()

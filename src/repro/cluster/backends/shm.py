@@ -1,0 +1,115 @@
+"""Shared-memory arenas for the processes backend.
+
+One :class:`ShmArena` packs a set of named NumPy arrays into a single
+``multiprocessing.shared_memory`` segment with an 8-byte-aligned
+offset table.  The parent creates the arena (copying the arrays in
+once); workers attach by spec and get zero-copy views — the mechanism
+that maps the CSR graph arrays (indptr / neighbours / edge ids /
+canonical edges) and the flat per-partition state (remaining-degree
+and local-vertex arrays) into every worker without per-worker copies
+or pickling.
+
+Ownership rules: the parent calls :meth:`ShmArena.unlink` exactly once
+after the run (destroying the segment); every attachment — parent and
+workers — calls :meth:`ShmArena.close` when done with its views.
+Views keep the mapping alive via a reference to the segment, so arrays
+handed out by :meth:`array` are safe for the arena's lifetime.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ShmArena", "graph_to_arrays", "graph_from_views"]
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+class ShmArena:
+    """Named NumPy arrays in one shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, entries: dict,
+                 owner: bool):
+        self._shm = shm
+        #: name -> (dtype str, shape tuple, offset)
+        self._entries = entries
+        self._owner = owner
+        self._closed = False
+
+    # -- parent side ---------------------------------------------------
+    @classmethod
+    def create(cls, arrays: dict) -> "ShmArena":
+        """Allocate a segment sized for ``arrays`` and copy them in."""
+        contiguous = {name: np.ascontiguousarray(arr)
+                      for name, arr in arrays.items()}
+        entries = {}
+        total = 0
+        for name, arr in contiguous.items():
+            entries[name] = (arr.dtype.str, arr.shape, total)
+            total += _aligned(arr.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        arena = cls(shm, entries, owner=True)
+        for name, arr in contiguous.items():
+            arena.array(name)[...] = arr
+        return arena
+
+    def spec(self) -> dict:
+        """Picklable attachment recipe for workers."""
+        return {"shm_name": self._shm.name, "entries": self._entries}
+
+    # -- worker side ---------------------------------------------------
+    @classmethod
+    def attach(cls, spec: dict) -> "ShmArena":
+        shm = shared_memory.SharedMemory(name=spec["shm_name"])
+        return cls(shm, spec["entries"], owner=False)
+
+    # -- views ---------------------------------------------------------
+    def array(self, name: str) -> np.ndarray:
+        """Zero-copy view of a named array."""
+        dtype, shape, offset = self._entries[name]
+        arr = np.ndarray(shape, dtype=np.dtype(dtype),
+                         buffer=self._shm.buf, offset=offset)
+        return arr
+
+    def keys(self):
+        return self._entries.keys()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent-side, after all workers closed)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# ----------------------------------------------------------------------
+# Graph packing: the read-only CSR arrays every worker maps.
+# ----------------------------------------------------------------------
+def graph_to_arrays(graph: CSRGraph) -> dict:
+    """The four CSR arrays that define a graph, keyed for an arena."""
+    return {
+        "graph_edges": graph.edges,
+        "graph_indptr": graph.indptr,
+        "graph_indices": graph.indices,
+        "graph_edge_ids": graph.edge_ids,
+    }
+
+
+def graph_from_views(arena: ShmArena) -> CSRGraph:
+    """Reconstruct the graph as zero-copy views over a shared arena."""
+    return CSRGraph.from_csr_arrays(
+        arena.array("graph_edges"), arena.array("graph_indptr"),
+        arena.array("graph_indices"), arena.array("graph_edge_ids"))

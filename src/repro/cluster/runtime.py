@@ -48,6 +48,23 @@ is unchanged:
   DNE phase does — observe the identical delivery order as ``send``;
 * eagerly-sent (``send``) messages of the same window are delivered
   first, in send order.
+
+Execution backends
+------------------
+The cluster itself is a passive mailbox + accountant; *who* runs the
+process steps between barriers is the job of
+:mod:`repro.cluster.backends`.  The ``simulated`` backend calls the
+step methods inline (the deterministic reference scheduler); the
+``threads`` / ``processes`` backends run them on real concurrent
+workers.  To keep accounting and delivery order bit-identical under
+concurrency, a parallel backend arms each process with an *outbox*
+(:attr:`Process._outbox`) before running its step: every ``send`` /
+``send_batched`` / ``set_resident`` / RPC-accounting call is recorded
+instead of applied, and the parent replays the outboxes against the
+cluster in deterministic step order afterwards (see
+``repro.cluster.backends.base.apply_outbox``).  Replay is exactly the
+call sequence the simulated scheduler would have made, so totals,
+mailbox order, and memory peaks cannot diverge.
 """
 
 from __future__ import annotations
@@ -56,7 +73,8 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.cluster.accounting import ClusterStats, payload_nbytes
+from repro.cluster.accounting import (ClusterStats, payload_nbytes,
+                                      record_rpc_pair)
 
 __all__ = ["Process", "SimulatedCluster", "pair_array"]
 
@@ -89,6 +107,12 @@ class Process:
         self.pid = pid
         self.cluster: SimulatedCluster | None = None
         self._pending_resident: dict = {}
+        #: when a parallel execution backend runs this process's step,
+        #: it points this at a per-step list and every outbound effect
+        #: (sends, resident reports, RPC accounting) is recorded there
+        #: instead of applied — the parent replays outboxes in
+        #: deterministic step order (see repro.cluster.backends).
+        self._outbox: list | None = None
 
     # -- wiring --------------------------------------------------------
     def _attach(self, cluster: "SimulatedCluster") -> None:
@@ -102,6 +126,9 @@ class Process:
     # -- messaging -----------------------------------------------------
     def send(self, dst, tag: str, payload=None) -> None:
         """Send ``payload`` to process ``dst`` under ``tag``."""
+        if self._outbox is not None:
+            self._outbox.append(("send", dst, tag, payload))
+            return
         assert self.cluster is not None, "process not registered with a cluster"
         self.cluster._send(self.pid, dst, tag, payload)
 
@@ -113,6 +140,9 @@ class Process:
         next ``barrier()``/``flush()`` and done once per
         ``(src, dst, tag)`` buffer instead of once per message.
         """
+        if self._outbox is not None:
+            self._outbox.append(("batched", dst, tag, payload))
+            return
         assert self.cluster is not None, "process not registered with a cluster"
         self.cluster._send_batched(self.pid, dst, tag, payload)
 
@@ -125,6 +155,12 @@ class Process:
         multicasts that fan out to O(sqrt |P|) destinations every
         iteration.
         """
+        if self._outbox is not None:
+            # Captured pair-by-pair: replay is a loop of _send_batched
+            # calls, which produces the identical buffer append order.
+            self._outbox.extend(("batched", dst, tag, payload)
+                                for dst, payload in dest_payloads)
+            return
         assert self.cluster is not None, "process not registered with a cluster"
         self.cluster._send_fanout(self.pid, tag, dest_payloads)
 
@@ -139,10 +175,29 @@ class Process:
         Safe to call before cluster registration; pre-attach reports are
         buffered and flushed at attach time.
         """
-        if self.cluster is None:
+        if self._outbox is not None:
+            self._outbox.append(("resident", name, int(nbytes)))
+        elif self.cluster is None:
             self._pending_resident[name] = int(nbytes)
         else:
             self.cluster.stats.stats_for(self.pid).set_resident(name, nbytes)
+
+    def account_rpc_pair(self, other_pid, nbytes: int) -> None:
+        """Account a synchronous request/response exchange with another
+        process (``nbytes`` each way) without sending a mailbox message.
+
+        Used by the expansion seed scan, whose remote lookups the paper
+        models as one request + one response per scanned machine.  This
+        is the single home of that accounting so parallel backends can
+        capture it in the outbox instead of racing the shared counters
+        (the stats objects of *other* processes are not safe to touch
+        from inside a concurrently-executing step).
+        """
+        if self._outbox is not None:
+            self._outbox.append(("rpc", other_pid, int(nbytes)))
+            return
+        assert self.cluster is not None, "process not registered with a cluster"
+        record_rpc_pair(self.cluster.stats, self.pid, other_pid, nbytes)
 
 
 class SimulatedCluster:

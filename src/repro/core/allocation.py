@@ -86,6 +86,7 @@ from repro.graph.csr import CSRGraph, adjacency_slots, first_occurrence
 from repro.kernels import validate_kernel
 
 __all__ = ["AllocationProcess", "DenseMembership", "PackedMembership",
+           "seed_vertex_random", "seed_vertex_min_degree",
            "TAG_SELECT", "TAG_SYNC", "TAG_BOUNDARY", "TAG_EDGES"]
 
 TAG_SELECT = "select"
@@ -98,6 +99,37 @@ TAG_EDGES = "edges"
 DENSE_MEMBERSHIP_MAX_PARTITIONS = 64
 
 _U64_ONE = np.uint64(1)
+
+
+def seed_vertex_random(local_vertices: np.ndarray,
+                       rest_degree: np.ndarray,
+                       rng: np.random.Generator) -> int | None:
+    """A vertex with non-allocated local edges, or None.
+
+    The single home of the random seed-lookup rule — one uniform draw
+    over the candidate set, no draw when it is empty — shared by
+    :meth:`AllocationProcess.random_unallocated_vertex` and the
+    processes backend's shared-memory seed source, so the two can
+    never diverge on the RNG sequence.
+    """
+    candidates = np.flatnonzero(rest_degree > 0)
+    if not len(candidates):
+        return None
+    return int(local_vertices[candidates[rng.integers(len(candidates))]])
+
+
+def seed_vertex_min_degree(local_vertices: np.ndarray,
+                           rest_degree: np.ndarray) -> int | None:
+    """Lowest-remaining-degree seed (the seeding ablation), or None.
+
+    Ties break to the lowest local index (``np.argmin``); shared for
+    the same never-diverge reason as :func:`seed_vertex_random`.
+    """
+    candidates = np.flatnonzero(rest_degree > 0)
+    if not len(candidates):
+        return None
+    best = candidates[np.argmin(rest_degree[candidates])]
+    return int(local_vertices[best])
 
 
 class DenseMembership:
@@ -441,17 +473,14 @@ class AllocationProcess(Process):
     def random_unallocated_vertex(self, rng: np.random.Generator) -> int | None:
         """A vertex with non-allocated local edges, or None."""
         if self.unallocated == 0:
-            return None
-        candidates = np.flatnonzero(self.rest_degree > 0)
-        return int(self.local_vertices[candidates[rng.integers(len(candidates))]])
+            return None  # cheap early-out; the scan would find nothing
+        return seed_vertex_random(self.local_vertices, self.rest_degree, rng)
 
     def min_degree_unallocated_vertex(self) -> int | None:
         """Lowest-remaining-degree seed (the seeding ablation)."""
         if self.unallocated == 0:
             return None
-        candidates = np.flatnonzero(self.rest_degree > 0)
-        best = candidates[np.argmin(self.rest_degree[candidates])]
-        return int(self.local_vertices[best])
+        return seed_vertex_min_degree(self.local_vertices, self.rest_degree)
 
     # ------------------------------------------------------------------
     # Phase 1+2: one-hop allocation, then send syncs.

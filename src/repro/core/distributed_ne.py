@@ -28,6 +28,20 @@ edges, and as proved in §3 at least one partition stays below cap until
 the graph drains; a final safety sweep covers the pathological case of
 a partition-capped tail, assigning leftovers to the least-loaded
 partitions).
+
+Execution backends
+------------------
+The phase loop is expressed as *supersteps* against an execution
+backend (:mod:`repro.cluster.backends`): per phase, the driver submits
+one step per process and the backend decides who runs them —
+``backend="simulated"`` (default) executes inline in deterministic
+order, ``"threads"`` on a thread pool over the GIL-releasing NumPy
+kernels, ``"processes"`` on worker processes with the CSR graph and
+the flat per-partition state mapped in via shared memory (only the
+barrier-batched message buffers cross the parent boundary).  All three
+produce bit-identical assignments and accounting totals — the backend
+only changes *where* the arithmetic happens, pinned by
+``tests/test_backends.py``.
 """
 
 from __future__ import annotations
@@ -36,15 +50,109 @@ import time
 
 import numpy as np
 
-from repro.cluster.runtime import SimulatedCluster
-from repro.core.allocation import AllocationProcess
-from repro.core.expansion import ExpansionProcess
+from repro.cluster.backends import (ProcessesBackend, WorkerProgram,
+                                    create_backend, graph_to_arrays,
+                                    validate_backend)
+from repro.cluster.backends.shm import ShmArena, graph_from_views
+from repro.cluster.runtime import Process, SimulatedCluster
+from repro.core.allocation import (AllocationProcess, seed_vertex_min_degree,
+                                   seed_vertex_random)
+from repro.core.expansion import DirectSeedSource, ExpansionProcess
 from repro.core.hash2d import Hash1DPlacement, Hash2DPlacement
 from repro.graph.csr import CSRGraph
 from repro.kernels import validate_kernel
 from repro.partitioners.base import EdgePartition, Partitioner
 
-__all__ = ["DistributedNE"]
+__all__ = ["DistributedNE", "DneWorkerProgram", "SharedSeedSource"]
+
+
+class SharedSeedSource:
+    """Seed lookups over shared-memory per-partition state.
+
+    The processes backend's counterpart of
+    :class:`~repro.core.expansion.DirectSeedSource`: every worker holds
+    read-only views of *all* allocation processes' remaining-degree and
+    local-vertex arrays, so the empty-boundary seed scan — including
+    its remote legs — is a local array probe instead of a cross-worker
+    round trip.  The lookups go through the same
+    :func:`~repro.core.allocation.seed_vertex_random` /
+    :func:`~repro.core.allocation.seed_vertex_min_degree` helpers as
+    ``AllocationProcess`` itself (same candidate set, same single RNG
+    draw; the allocator's ``unallocated == 0`` early-out is equivalent
+    to an empty candidate set), so selections are bit-identical to the
+    in-process backends by construction.
+
+    Safe by phase disjointness: remaining degrees are written only by
+    the owning worker during allocation supersteps, and seed scans run
+    only during selection supersteps.
+    """
+
+    def __init__(self, local_vertices: list, rest_degrees: list):
+        self._lv = local_vertices
+        self._rest = rest_degrees
+
+    def random_vertex(self, proc_id: int, rng) -> int | None:
+        return seed_vertex_random(self._lv[proc_id], self._rest[proc_id],
+                                  rng)
+
+    def min_degree_vertex(self, proc_id: int) -> int | None:
+        return seed_vertex_min_degree(self._lv[proc_id],
+                                      self._rest[proc_id])
+
+
+class DneWorkerProgram(WorkerProgram):
+    """Builds one worker's share of the DNE cluster from shared memory.
+
+    Each worker reconstructs the graph as zero-copy CSR views,
+    constructs its owned allocation/expansion processes (recomputing
+    the local adjacency in parallel across workers), re-points every
+    allocator's remaining-degree array at the shared flat-state arena
+    so sibling workers' seed scans can read it, and injects a
+    :class:`SharedSeedSource` into its expanders.
+    """
+
+    def __init__(self, num_partitions: int, placement, two_hop: bool,
+                 kernel: str, lam: float, seed: int, seed_strategy: str,
+                 limit: int, total_edges: int):
+        self.num_partitions = num_partitions
+        self.placement = placement
+        self.two_hop = two_hop
+        self.kernel = kernel
+        self.lam = lam
+        self.seed = seed
+        self.seed_strategy = seed_strategy
+        self.limit = limit
+        self.total_edges = total_edges
+
+    def build(self, owned_pids, views: dict) -> dict:
+        garena = views["graph"]
+        sarena = views["state"]
+        graph = graph_from_views(garena)
+        eids_by_home = garena.array("eids_by_home")
+        eids_ptr = garena.array("eids_ptr")
+        p = self.num_partitions
+        seed_source = SharedSeedSource(
+            [sarena.array(f"lv{k}") for k in range(p)],
+            [sarena.array(f"rd{k}") for k in range(p)])
+        procs = {}
+        for pid in owned_pids:
+            role, k = pid
+            if role == "alloc":
+                alloc = AllocationProcess(
+                    k, graph, eids_by_home[eids_ptr[k]:eids_ptr[k + 1]],
+                    self.placement,
+                    two_hop=self.two_hop, kernel=self.kernel)
+                shared_rd = sarena.array(f"rd{k}")
+                shared_rd[:] = alloc.rest_degree
+                alloc.rest_degree = shared_rd
+                procs[pid] = alloc
+            else:
+                procs[pid] = ExpansionProcess(
+                    k, p, self.limit, self.total_edges, self.lam,
+                    self.seed, self.placement,
+                    seed_strategy=self.seed_strategy, kernel=self.kernel,
+                    seed_source=seed_source)
+        return procs
 
 
 class DistributedNE(Partitioner):
@@ -92,6 +200,16 @@ class DistributedNE(Partitioner):
         equivalence tests).  At ``num_partitions > 64`` the vectorized
         replica membership switches to the packed uint64-bitset
         backend (``extra["membership"]``), still bit-identical.
+    backend:
+        Execution backend for the per-partition supersteps:
+        ``"simulated"`` (default, inline deterministic scheduler),
+        ``"threads"`` (thread pool) or ``"processes"``
+        (shared-memory worker processes).  Orthogonal to ``kernel``;
+        all three backends are bit-identical on assignments and
+        accounting totals.
+    workers:
+        Worker count for the parallel backends (default 4; ignored by
+        ``"simulated"``).
     """
 
     name = "distributed_ne"
@@ -102,7 +220,9 @@ class DistributedNE(Partitioner):
                  seed_strategy: str = "random",
                  max_iterations: int | None = None,
                  collect_history: bool = False,
-                 kernel: str = "vectorized"):
+                 kernel: str = "vectorized",
+                 backend: str = "simulated",
+                 workers: int | None = None):
         super().__init__(num_partitions, seed)
         if alpha < 1.0:
             raise ValueError("imbalance factor alpha must be >= 1.0")
@@ -121,6 +241,11 @@ class DistributedNE(Partitioner):
         self.collect_history = collect_history
         validate_kernel(kernel)
         self.kernel = kernel
+        validate_backend(backend)
+        self.backend = backend
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def _partition(self, graph: CSRGraph) -> EdgePartition:
@@ -132,117 +257,160 @@ class DistributedNE(Partitioner):
         else:
             placement = Hash1DPlacement(p, seed=self.seed)
 
-        # Initial distribution (excluded from the paper's elapsed time;
-        # we time it separately).
+        alloc_pids = [("alloc", k) for k in range(p)]
+        exp_pids = [("expansion", k) for k in range(p)]
+        limit = max(1, int(np.ceil(self.alpha * graph.num_edges / p)))
+
+        # Initial distribution + process construction (excluded from
+        # the paper's elapsed time; we time it separately).
         t0 = time.perf_counter()
         homes = placement.place_edges(graph.edges) if graph.num_edges else \
             np.empty(0, dtype=np.int64)
-        allocators = []
-        for k in range(p):
-            eids = np.flatnonzero(homes == k)
-            allocators.append(cluster.add_process(
-                AllocationProcess(k, graph, eids, placement,
-                                  two_hop=self.two_hop,
-                                  kernel=self.kernel)))
-        limit = max(1, int(np.ceil(self.alpha * graph.num_edges / p)))
-        expanders = [
-            cluster.add_process(ExpansionProcess(
-                k, p, limit, graph.num_edges, self.lam, self.seed,
-                placement, seed_strategy=self.seed_strategy,
-                kernel=self.kernel))
-            for k in range(p)
-        ]
-        load_seconds = time.perf_counter() - t0
+        # One stable grouping pass instead of |P| O(E) flatnonzero
+        # scans: slice k of eids_by_home is exactly
+        # np.flatnonzero(homes == k) (stable sort keeps edge ids
+        # ascending within a home).  Shared by every backend path.
+        eids_by_home = np.argsort(homes, kind="stable").astype(np.int64)
+        eids_ptr = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(np.bincount(homes, minlength=p), out=eids_ptr[1:])
+        backend = create_backend(self.backend, self.workers)
+        try:
+            if isinstance(backend, ProcessesBackend):
+                self._start_processes(backend, cluster, graph, placement,
+                                      eids_by_home, eids_ptr, limit)
+            else:
+                allocators = []
+                for k in range(p):
+                    eids = eids_by_home[eids_ptr[k]:eids_ptr[k + 1]]
+                    allocators.append(cluster.add_process(
+                        AllocationProcess(k, graph, eids, placement,
+                                          two_hop=self.two_hop,
+                                          kernel=self.kernel)))
+                expanders = [
+                    cluster.add_process(ExpansionProcess(
+                        k, p, limit, graph.num_edges, self.lam, self.seed,
+                        placement, seed_strategy=self.seed_strategy,
+                        kernel=self.kernel))
+                    for k in range(p)
+                ]
+                seed_source = DirectSeedSource(allocators)
+                for expander in expanders:
+                    expander.seed_source = seed_source
+                backend.attach(cluster, allocators + expanders)
+            load_seconds = time.perf_counter() - t0
 
-        iterations = 0
-        allocation_seconds = 0.0
-        history: list[dict] = []
-        # Simulated *parallel* phase times: per iteration, the slowest
-        # process defines the phase cost (the cluster's wall clock).
-        parallel_selection = 0.0
-        parallel_allocation = 0.0
-        # Modeled phase costs (deterministic, kernel-independent): per
-        # iteration the slowest process's op count defines the phase —
-        # selection ops are multicast ⟨vertex, replica⟩ pairs, allocation
-        # ops are adjacency slots touched (the Theorem 3 units).
-        model_selection = 0
-        model_allocation = 0
-        prev_sel_ops = [0] * p
-        prev_alloc_ops = [0] * p
-        while True:
-            iterations += 1
-            # Step 1: selection + multicast.
-            sent = 0
-            slowest = 0.0
-            for e in expanders:
-                ts = time.perf_counter()
-                sent += e.select_and_multicast(allocators)
-                slowest = max(slowest, time.perf_counter() - ts)
-            parallel_selection += slowest
-            model_selection += max(
-                e.selection_ops - prev_sel_ops[i]
-                for i, e in enumerate(expanders))
-            prev_sel_ops = [e.selection_ops for e in expanders]
-            cluster.barrier()  # Step 2
+            iterations = 0
+            allocation_seconds = 0.0
+            history: list[dict] = []
+            # Simulated *parallel* phase times: per iteration, the
+            # slowest process defines the phase cost (the cluster's
+            # wall clock).
+            parallel_selection = 0.0
+            parallel_allocation = 0.0
+            # Modeled phase costs (deterministic, kernel-independent):
+            # per iteration the slowest process's op count defines the
+            # phase — selection ops are multicast ⟨vertex, replica⟩
+            # pairs, allocation ops are adjacency slots touched (the
+            # Theorem 3 units).
+            model_selection = 0
+            model_allocation = 0
+            prev_sel_ops = dict.fromkeys(exp_pids, 0)
+            prev_alloc_ops = dict.fromkeys(alloc_pids, 0)
+            while True:
+                iterations += 1
+                # Step 1: selection + multicast.
+                sel = backend.run_superstep(
+                    [(pid, "select_and_multicast", ()) for pid in exp_pids],
+                    gather=("selection_ops",))
+                sent = sum(r.value for r in sel.values())
+                parallel_selection += max(r.seconds for r in sel.values())
+                sel_ops = {pid: sel[pid].gathered["selection_ops"]
+                           for pid in exp_pids}
+                model_selection += max(sel_ops[pid] - prev_sel_ops[pid]
+                                       for pid in exp_pids)
+                prev_sel_ops = sel_ops
+                cluster.barrier()  # Step 2
 
-            ta = time.perf_counter()
-            slowest = 0.0
-            for a in allocators:       # Step 3
-                ts = time.perf_counter()
-                a.one_hop_and_sync()
-                slowest = max(slowest, time.perf_counter() - ts)
-            cluster.barrier()
-            for a in allocators:       # Step 4
-                ts = time.perf_counter()
-                a.two_hop_and_report()
-                slowest = max(slowest, time.perf_counter() - ts)
-            parallel_allocation += slowest
-            model_allocation += max(
-                a.ops_one_hop + a.ops_two_hop - prev_alloc_ops[i]
-                for i, a in enumerate(allocators))
-            prev_alloc_ops = [a.ops_one_hop + a.ops_two_hop
-                              for a in allocators]
-            allocation_seconds += time.perf_counter() - ta
-            cluster.barrier()          # Step 5
+                ta = time.perf_counter()
+                one = backend.run_superstep(  # Step 3
+                    [(pid, "one_hop_and_sync", ()) for pid in alloc_pids])
+                slowest = max(r.seconds for r in one.values())
+                cluster.barrier()
+                two = backend.run_superstep(  # Step 4
+                    [(pid, "two_hop_and_report", ()) for pid in alloc_pids],
+                    gather=("ops_one_hop", "ops_two_hop"))
+                slowest = max(slowest,
+                              max(r.seconds for r in two.values()))
+                parallel_allocation += slowest
+                alloc_ops = {
+                    pid: (two[pid].gathered["ops_one_hop"]
+                          + two[pid].gathered["ops_two_hop"])
+                    for pid in alloc_pids}
+                model_allocation += max(alloc_ops[pid] - prev_alloc_ops[pid]
+                                        for pid in alloc_pids)
+                prev_alloc_ops = alloc_ops
+                allocation_seconds += time.perf_counter() - ta
+                cluster.barrier()          # Step 5
 
-            for e in expanders:
-                e.update_state()
-            global_allocated = int(cluster.all_gather_sum(
-                {e.pid: e.edge_count for e in expanders}))
-            for e in expanders:
-                e.check_termination(global_allocated)
+                upd = backend.run_superstep(
+                    [(pid, "update_state", ()) for pid in exp_pids],
+                    gather=("edge_count",))
+                global_allocated = int(cluster.all_gather_sum(
+                    {pid: upd[pid].gathered["edge_count"]
+                     for pid in exp_pids}))
+                term_gather = (("finished", "boundary_size")
+                               if self.collect_history else ("finished",))
+                term = backend.run_superstep(
+                    [(pid, "check_termination", (global_allocated,))
+                     for pid in exp_pids],
+                    gather=term_gather)
 
-            if self.collect_history:
-                history.append({
-                    "iteration": iterations,
-                    "allocated_edges": global_allocated,
-                    "vertices_selected": sent,
-                    "boundary_total": sum(len(e.boundary)
-                                          for e in expanders),
-                    "live_partitions": sum(not e.finished
-                                           for e in expanders),
-                })
+                if self.collect_history:
+                    history.append({
+                        "iteration": iterations,
+                        "allocated_edges": global_allocated,
+                        "vertices_selected": sent,
+                        "boundary_total": sum(
+                            term[pid].gathered["boundary_size"]
+                            for pid in exp_pids),
+                        "live_partitions": sum(
+                            not term[pid].gathered["finished"]
+                            for pid in exp_pids),
+                    })
 
-            if global_allocated >= graph.num_edges:
-                break
-            if sent == 0 and all(e.finished for e in expanders):
-                break  # capped tail: leftovers handled by the sweep
-            if self.max_iterations and iterations >= self.max_iterations:
-                break
+                if global_allocated >= graph.num_edges:
+                    break
+                if sent == 0 and all(term[pid].gathered["finished"]
+                                     for pid in exp_pids):
+                    break  # capped tail: leftovers handled by the sweep
+                if self.max_iterations and iterations >= self.max_iterations:
+                    break
 
-        assignment = self._collect_assignment(graph, expanders, allocators)
+            collected = backend.call_all(exp_pids, "collected_edge_ids")
+            assignment = self._collect_assignment(graph, collected)
+
+            exp_stats = backend.gather(
+                exp_pids, ("selection_seconds", "random_seed_requests",
+                           "remote_seed_requests"))
+            alloc_stats = backend.gather(
+                alloc_pids, ("ops_one_hop", "ops_two_hop",
+                             "membership_kind"))
+        finally:
+            backend.close()
 
         stats = cluster.stats.summary()
         extra = {
             "alpha": self.alpha,
             "kernel": self.kernel,
-            "membership": allocators[0].membership_kind,
+            "backend": self.backend,
+            "membership": alloc_stats[alloc_pids[0]]["membership_kind"],
             "lambda": self.lam,
             "two_hop": self.two_hop,
             "placement": self.placement_kind,
             "load_seconds": load_seconds,
             "allocation_seconds": allocation_seconds,
-            "selection_seconds": sum(e.selection_seconds for e in expanders),
+            "selection_seconds": sum(
+                exp_stats[pid]["selection_seconds"] for pid in exp_pids),
             # Share of the simulated parallel wall clock spent in the
             # vertex-selection phase (the quantity §7.4 reports growing
             # from <1% at 4 machines to 30.3% at 256): per iteration the
@@ -260,14 +428,16 @@ class DistributedNE(Partitioner):
             "selection_share_model": (
                 model_selection / (model_selection + model_allocation)
                 if model_selection + model_allocation > 0 else 0.0),
-            "random_seed_requests": sum(e.random_seed_requests
-                                        for e in expanders),
-            "remote_seed_requests": sum(e.remote_seed_requests
-                                        for e in expanders),
+            "random_seed_requests": sum(
+                exp_stats[pid]["random_seed_requests"] for pid in exp_pids),
+            "remote_seed_requests": sum(
+                exp_stats[pid]["remote_seed_requests"] for pid in exp_pids),
             # Theorem 3 inputs: adjacency slots touched per phase,
             # summed over allocation processes.
-            "ops_one_hop": sum(a.ops_one_hop for a in allocators),
-            "ops_two_hop": sum(a.ops_two_hop for a in allocators),
+            "ops_one_hop": sum(alloc_stats[pid]["ops_one_hop"]
+                               for pid in alloc_pids),
+            "ops_two_hop": sum(alloc_stats[pid]["ops_two_hop"]
+                               for pid in alloc_pids),
             "cluster": stats,
             "mem_score": (cluster.stats.mem_score(graph.num_edges)
                           if graph.num_edges else float("nan")),
@@ -278,8 +448,64 @@ class DistributedNE(Partitioner):
                              iterations=iterations, extra=extra)
 
     # ------------------------------------------------------------------
-    def _collect_assignment(self, graph, expanders, allocators) -> np.ndarray:
-        """Gather the per-edge assignment from the expansion processes.
+    def _start_processes(self, backend: ProcessesBackend,
+                         cluster: SimulatedCluster, graph: CSRGraph,
+                         placement, eids_by_home: np.ndarray,
+                         eids_ptr: np.ndarray, limit: int) -> None:
+        """Wire the shared-memory worker ensemble.
+
+        The parent maps two arenas: the read-only graph (CSR arrays +
+        the home-grouped edge ids) and the flat per-partition state
+        (each allocator's local-vertex ids and remaining degrees —
+        written by the owning worker, read by every worker's seed
+        scans).  The parent-side cluster keeps lightweight stubs so
+        message replay can resolve destinations and per-process
+        accounting.
+        """
+        p = self.num_partitions
+        arenas: dict = {}
+        # Ownership of the arenas passes to the backend only once
+        # start() returns; until then a failure (e.g. /dev/shm
+        # exhaustion midway) must not leak the created segments.
+        try:
+            arrays = graph_to_arrays(graph)
+            arrays["eids_by_home"] = eids_by_home
+            arrays["eids_ptr"] = eids_ptr
+            arenas["graph"] = ShmArena.create(arrays)
+            state_arrays: dict = {}
+            for k in range(p):
+                eids = eids_by_home[eids_ptr[k]:eids_ptr[k + 1]]
+                lv = (np.unique(graph.edges[eids]) if len(eids)
+                      else np.empty(0, dtype=np.int64))
+                state_arrays[f"lv{k}"] = lv
+                # Filled by the owning worker at build time (before the
+                # first superstep runs).
+                state_arrays[f"rd{k}"] = np.zeros(len(lv), dtype=np.int32)
+            arenas["state"] = ShmArena.create(state_arrays)
+
+            # Same registration order as the in-process path:
+            # allocators, then expanders.
+            pid_to_worker = {}
+            for k in range(p):
+                cluster.add_process(Process(("alloc", k)))
+                pid_to_worker[("alloc", k)] = k % backend.workers
+            for k in range(p):
+                cluster.add_process(Process(("expansion", k)))
+                pid_to_worker[("expansion", k)] = k % backend.workers
+
+            program = DneWorkerProgram(
+                p, placement, self.two_hop, self.kernel, self.lam,
+                self.seed, self.seed_strategy, limit, graph.num_edges)
+            backend.start(cluster, program, pid_to_worker, arenas)
+        except BaseException:
+            for arena in arenas.values():
+                arena.close()
+                arena.unlink()
+            raise
+
+    # ------------------------------------------------------------------
+    def _collect_assignment(self, graph, collected: dict) -> np.ndarray:
+        """Merge the per-expander collected edge ids into one assignment.
 
         Every allocated edge was shipped to exactly one expansion
         process; any unallocated leftovers (only possible via the
@@ -287,9 +513,8 @@ class DistributedNE(Partitioner):
         least-loaded partitions to keep the result a true partition.
         """
         assignment = np.full(graph.num_edges, -1, dtype=np.int64)
-        for e in expanders:
-            eids = e.collected_edge_ids()
-            assignment[eids] = e.partition
+        for k in range(self.num_partitions):
+            assignment[collected[("expansion", k)]] = k
         left = np.flatnonzero(assignment == -1)
         if len(left):
             loads = np.bincount(assignment[assignment >= 0],

@@ -68,7 +68,35 @@ from repro.core.allocation import TAG_BOUNDARY, TAG_EDGES, TAG_SELECT
 from repro.graph.csr import first_occurrence
 from repro.kernels import validate_kernel
 
-__all__ = ["ExpansionProcess", "BoundaryQueue", "HeapqBoundaryQueue"]
+__all__ = ["ExpansionProcess", "BoundaryQueue", "HeapqBoundaryQueue",
+           "DirectSeedSource"]
+
+
+class DirectSeedSource:
+    """Seed lookups against in-process allocation objects.
+
+    The expansion fallback path ("take a seed vertex from the
+    co-located machine, then scan the others") needs to *query*
+    allocation state; this wrapper is the in-process form used by the
+    ``simulated`` and ``threads`` backends — it simply forwards to the
+    allocator objects, reproducing the pre-backend direct calls.  The
+    ``processes`` backend substitutes a shared-memory implementation
+    with the same two-method interface (remaining-degree arrays mapped
+    read-only into every worker), so the scan never crosses workers.
+
+    Query-only by contract: seed lookups run during the selection
+    superstep, when no allocation step is executing, so reads of
+    allocator state race nothing.
+    """
+
+    def __init__(self, allocators):
+        self._allocators = allocators
+
+    def random_vertex(self, proc_id: int, rng) -> int | None:
+        return self._allocators[proc_id].random_unallocated_vertex(rng)
+
+    def min_degree_vertex(self, proc_id: int) -> int | None:
+        return self._allocators[proc_id].min_degree_unallocated_vertex()
 
 
 class HeapqBoundaryQueue:
@@ -219,7 +247,7 @@ class ExpansionProcess(Process):
     def __init__(self, partition: int, num_partitions: int,
                  limit: int, total_edges: int, lam: float,
                  seed: int, placement, seed_strategy: str = "random",
-                 kernel: str = "vectorized"):
+                 kernel: str = "vectorized", seed_source=None):
         super().__init__(("expansion", partition))
         validate_kernel(kernel)
         self.partition = partition
@@ -232,6 +260,10 @@ class ExpansionProcess(Process):
         self.kernel = kernel
         self.rng = np.random.default_rng((seed, partition))
 
+        #: where the empty-boundary fallback takes seed vertices from;
+        #: injected by the driver (or worker program) after construction
+        #: when not given here.  See :class:`DirectSeedSource`.
+        self.seed_source = seed_source
         self.boundary = (BoundaryQueue() if kernel == "vectorized"
                          else HeapqBoundaryQueue())
         self.edge_count = 0                     # |E_p|
@@ -249,15 +281,24 @@ class ExpansionProcess(Process):
     # ------------------------------------------------------------------
     # Iteration phase A: select vertices and multicast to allocators.
     # ------------------------------------------------------------------
-    def select_and_multicast(self, alloc_processes) -> int:
-        """Run the selection step.  Returns how many vertices were sent."""
+    def select_and_multicast(self, alloc_processes=None) -> int:
+        """Run the selection step.  Returns how many vertices were sent.
+
+        ``alloc_processes`` (a list of allocation objects indexed by
+        machine) is the legacy in-process form, wrapped in a
+        :class:`DirectSeedSource`; when omitted, the injected
+        :attr:`seed_source` serves the empty-boundary fallback — the
+        form every execution backend uses.
+        """
         if self.finished:
             return 0
+        source = (DirectSeedSource(alloc_processes)
+                  if alloc_processes is not None else self.seed_source)
         if self.kernel == "python":
-            return self._select_and_multicast_python(alloc_processes)
-        return self._select_and_multicast_vectorized(alloc_processes)
+            return self._select_and_multicast_python(source)
+        return self._select_and_multicast_vectorized(source)
 
-    def _select_and_multicast_python(self, alloc_processes) -> int:
+    def _select_and_multicast_python(self, seed_source) -> int:
         """Reference selection: heapq pops, per-vertex replica fan-out
         into per-process tuple lists."""
         start = time.perf_counter()
@@ -266,7 +307,7 @@ class ExpansionProcess(Process):
             k = max(1, int(np.ceil(self.lam * len(self.boundary))))
             selected = self.boundary.pop_k_min(k)
         else:
-            v = self._random_seed(alloc_processes)
+            v = self._random_seed(seed_source)
             if v is not None:
                 selected = [v]
         self.selection_seconds += time.perf_counter() - start
@@ -283,7 +324,7 @@ class ExpansionProcess(Process):
             self.send(("alloc", proc), TAG_SELECT, payload)
         return len(selected)
 
-    def _select_and_multicast_vectorized(self, alloc_processes) -> int:
+    def _select_and_multicast_vectorized(self, seed_source) -> int:
         """Flat-array selection: one partition-select pop, one batched
         ``replica_membership`` call, boolean-mask payload slicing."""
         start = time.perf_counter()
@@ -291,7 +332,7 @@ class ExpansionProcess(Process):
             k = max(1, int(np.ceil(self.lam * len(self.boundary))))
             selected = self.boundary.pop_k_min_array(k)
         else:
-            v = self._random_seed(alloc_processes)
+            v = self._random_seed(seed_source)
             selected = (np.empty(0, dtype=np.int64) if v is None
                         else np.array([v], dtype=np.int64))
         self.selection_seconds += time.perf_counter() - start
@@ -320,32 +361,43 @@ class ExpansionProcess(Process):
             [("alloc", p) for p in pidx[starts].tolist()], chunks))
         return len(selected)
 
-    def _random_seed(self, alloc_processes) -> int | None:
+    def _random_seed(self, seed_source) -> int | None:
         """Seed lookup: co-located allocator first, then remote scan.
 
         Remote lookups are accounted as one request/response message
         pair per scanned process (the paper takes the vertex "from the
-        other machines only if necessary").
+        other machines only if necessary") through
+        :meth:`~repro.cluster.runtime.Process.account_rpc_pair`, which
+        parallel backends capture in the outbox instead of letting this
+        step touch another process's counters mid-superstep.
         """
+        if seed_source is None:
+            raise RuntimeError(
+                f"expansion process {self.pid!r} hit the empty-boundary "
+                "seed fallback but no seed source is available — pass "
+                "alloc_processes to select_and_multicast or inject "
+                "seed_source (DirectSeedSource / the backend's shared-"
+                "memory source) after construction")
         self.random_seed_requests += 1
         order = [self.partition] + [
             p for p in range(self.num_partitions) if p != self.partition]
         for proc_id in order:
-            alloc = alloc_processes[proc_id]
             if proc_id != self.partition:
                 self.remote_seed_requests += 1
                 # request + response, 8 bytes each way
-                self.cluster.stats.stats_for(self.pid).record_send(8)
-                self.cluster.stats.stats_for(alloc.pid).record_receive(8)
-                self.cluster.stats.stats_for(alloc.pid).record_send(8)
-                self.cluster.stats.stats_for(self.pid).record_receive(8)
+                self.account_rpc_pair(("alloc", proc_id), 8)
             if self.seed_strategy == "min_degree":
-                v = alloc.min_degree_unallocated_vertex()
+                v = seed_source.min_degree_vertex(proc_id)
             else:
-                v = alloc.random_unallocated_vertex(self.rng)
+                v = seed_source.random_vertex(proc_id, self.rng)
             if v is not None:
                 return v
         return None
+
+    @property
+    def boundary_size(self) -> int:
+        """Current boundary cardinality (gatherable across backends)."""
+        return len(self.boundary)
 
     # ------------------------------------------------------------------
     # Iteration phase B: fold in allocation results.

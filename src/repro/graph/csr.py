@@ -142,6 +142,27 @@ class CSRGraph:
         self.indptr, self.indices, self.edge_ids = symmetrised_csr(
             edges, self.n)
 
+    @classmethod
+    def from_csr_arrays(cls, edges: np.ndarray, indptr: np.ndarray,
+                        indices: np.ndarray, edge_ids: np.ndarray
+                        ) -> "CSRGraph":
+        """Wrap prebuilt CSR arrays without copying or re-deriving.
+
+        The arrays are trusted to be a consistent
+        canonical-edges/symmetrised-CSR quadruple (as produced by the
+        normal constructor).  Used by the shared-memory execution
+        backend to reconstruct the graph in worker processes as
+        zero-copy views over one shared segment.
+        """
+        graph = cls.__new__(cls)
+        graph.edges = edges
+        graph.m = len(edges)
+        graph.n = len(indptr) - 1
+        graph.indptr = indptr
+        graph.indices = indices
+        graph.edge_ids = edge_ids
+        return graph
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

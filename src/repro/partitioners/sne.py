@@ -17,18 +17,102 @@ ablation of how much graph context the expansion heuristic needs.
 Implementation notes: the buffer is a boolean visibility mask over
 canonical edge ids (``ExpansionState.allowed``); refilling flips more
 ids visible in stream order and updates the visible remaining degrees.
+
+The whole stream run is one sequential program, so the execution
+backends (:mod:`repro.cluster.backends`) host it through the
+whole-graph offload path rather than per-partition supersteps:
+``backend="simulated"`` runs inline, ``"threads"`` on a worker thread,
+``"processes"`` in a worker process with the CSR arrays mapped through
+shared memory (only the assignment and the scalar stats travel back).
+All backends are bit-identical on the assignment and on the reported
+``state_bytes`` footprint (pinned by ``tests/test_backends.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.backends import create_backend, validate_backend
 from repro.graph.csr import CSRGraph
 from repro.kernels import validate_kernel
 from repro.partitioners.base import EdgePartition, Partitioner
 from repro.partitioners.ne import ExpansionState, _sweep_leftovers
 
 __all__ = ["SNEPartitioner"]
+
+
+def _run_sne_stream(graph: CSRGraph, p: int, seed: int, alpha: float,
+                    buffer_factor: float, shuffle: bool, kernel: str
+                    ) -> tuple[np.ndarray, dict]:
+    """One full SNE stream run; pure function of (graph, parameters).
+
+    Module-level and fully deterministic so every execution backend —
+    inline, worker thread, or shared-memory worker process — computes
+    the identical ``(assignment, extra)``.
+    """
+    rng = np.random.default_rng(seed)
+
+    stream = np.arange(graph.num_edges)
+    if shuffle:
+        stream = rng.permutation(stream)
+
+    allowed = np.zeros(graph.num_edges, dtype=bool)
+    state = ExpansionState(graph, rng, allowed=allowed, kernel=kernel)
+    limit = max(1, int(np.ceil(alpha * graph.num_edges / p)))
+    capacity = max(limit, int(buffer_factor * graph.num_edges / p))
+
+    stream_pos = 0
+    buffered = 0  # visible & unallocated edges
+
+    def refill(current_buffered: int) -> int:
+        # Bulk top-up: flip the next stream chunk visible and add
+        # its endpoint degrees in one bincount pass.
+        nonlocal stream_pos
+        need = capacity - current_buffered
+        if need <= 0 or stream_pos >= len(stream):
+            return current_buffered
+        chunk = stream[stream_pos:stream_pos + need]
+        stream_pos += len(chunk)
+        allowed[chunk] = True
+        state.rest_degree += np.bincount(
+            graph.edges[chunk].ravel(), minlength=graph.num_vertices)
+        return current_buffered + len(chunk)
+
+    # With a visibility mask, rest_degree starts at zero and counts
+    # only buffered edges; unallocated still tracks the full graph.
+    state.rest_degree[:] = 0
+    state.unallocated = graph.num_edges
+    buffered = refill(0)
+
+    for pid in range(p):
+        if state.unallocated == 0:
+            break
+        state.begin_partition()
+        allocated = 0
+        while allocated < limit and state.unallocated > 0:
+            v = state.pop_min_boundary()
+            if v is None:
+                buffered = refill(buffered)
+                v = state.random_seed_vertex()
+                if v is None:
+                    break
+            before = state.unallocated
+            allocated = state.expand_vertex(v, pid, limit, allocated)
+            buffered -= before - state.unallocated
+            if buffered < capacity // 2:
+                buffered = refill(buffered)
+
+    _sweep_leftovers(state, p)
+    # Resident footprint of the streaming state (the bounded-memory
+    # claim SNE exists for): per-edge assignment + visibility mask,
+    # per-vertex degrees/coverage, and the probe order.  Deterministic,
+    # so backend equivalence can pin it alongside the assignment.
+    state_bytes = (state.assignment.nbytes + allowed.nbytes
+                   + state.rest_degree.nbytes + state.in_part.nbytes
+                   + state._probe_order.nbytes)
+    extra = {"alpha": alpha, "buffer_capacity": capacity,
+             "state_bytes": int(state_bytes)}
+    return state.assignment, extra
 
 
 class SNEPartitioner(Partitioner):
@@ -38,7 +122,8 @@ class SNEPartitioner(Partitioner):
 
     def __init__(self, num_partitions: int, seed: int = 0,
                  alpha: float = 1.1, buffer_factor: float = 16.0,
-                 shuffle: bool = True, kernel: str = "vectorized"):
+                 shuffle: bool = True, kernel: str = "vectorized",
+                 backend: str = "simulated", workers: int | None = None):
         super().__init__(num_partitions, seed)
         if buffer_factor <= 0:
             raise ValueError("buffer_factor must be positive")
@@ -46,63 +131,23 @@ class SNEPartitioner(Partitioner):
         self.buffer_factor = buffer_factor
         self.shuffle = shuffle
         self.kernel = validate_kernel(kernel)
+        self.backend = validate_backend(backend)
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:
-        p = self.num_partitions
-        rng = np.random.default_rng(self.seed)
-
-        stream = np.arange(graph.num_edges)
-        if self.shuffle:
-            stream = rng.permutation(stream)
-
-        allowed = np.zeros(graph.num_edges, dtype=bool)
-        state = ExpansionState(graph, rng, allowed=allowed,
-                               kernel=self.kernel)
-        limit = max(1, int(np.ceil(self.alpha * graph.num_edges / p)))
-        capacity = max(limit, int(self.buffer_factor * graph.num_edges / p))
-
-        stream_pos = 0
-        buffered = 0  # visible & unallocated edges
-
-        def refill(current_buffered: int) -> int:
-            # Bulk top-up: flip the next stream chunk visible and add
-            # its endpoint degrees in one bincount pass.
-            nonlocal stream_pos
-            need = capacity - current_buffered
-            if need <= 0 or stream_pos >= len(stream):
-                return current_buffered
-            chunk = stream[stream_pos:stream_pos + need]
-            stream_pos += len(chunk)
-            allowed[chunk] = True
-            state.rest_degree += np.bincount(
-                graph.edges[chunk].ravel(), minlength=graph.num_vertices)
-            return current_buffered + len(chunk)
-
-        # With a visibility mask, rest_degree starts at zero and counts
-        # only buffered edges; unallocated still tracks the full graph.
-        state.rest_degree[:] = 0
-        state.unallocated = graph.num_edges
-        buffered = refill(0)
-
-        for pid in range(p):
-            if state.unallocated == 0:
-                break
-            state.begin_partition()
-            allocated = 0
-            while allocated < limit and state.unallocated > 0:
-                v = state.pop_min_boundary()
-                if v is None:
-                    buffered = refill(buffered)
-                    v = state.random_seed_vertex()
-                    if v is None:
-                        break
-                before = state.unallocated
-                allocated = state.expand_vertex(v, pid, limit, allocated)
-                buffered -= before - state.unallocated
-                if buffered < capacity // 2:
-                    buffered = refill(buffered)
-
-        _sweep_leftovers(state, p)
-        return EdgePartition(graph, p, state.assignment, method=self.name,
-                             extra={"alpha": self.alpha,
-                                    "buffer_capacity": capacity})
+        args = (self.num_partitions, self.seed, self.alpha,
+                self.buffer_factor, self.shuffle, self.kernel)
+        if self.backend == "simulated":
+            assignment, extra = _run_sne_stream(graph, *args)
+        else:
+            backend = create_backend(self.backend, self.workers)
+            try:
+                assignment, extra = backend.run_graph_task(
+                    _run_sne_stream, graph, *args)
+            finally:
+                backend.close()
+        extra["backend"] = self.backend
+        return EdgePartition(graph, self.num_partitions, assignment,
+                             method=self.name, extra=extra)

@@ -1,0 +1,270 @@
+"""Execution-backend equivalence pins.
+
+The contract of :mod:`repro.cluster.backends`: the ``simulated``,
+``threads`` and ``processes`` backends run the *same* Process/barrier
+programs and must be observationally identical — bit-identical
+``assignment`` arrays and identical message/byte/barrier/memory
+accounting totals — for DNE and SNE, under both kernels, at |P| well
+below and at the dense-membership width.  Wall clock is the only thing
+a backend may change.
+
+Also covered: the outbox replay protocol in isolation (threads ==
+inline for every payload shape), the shared-memory arena round trip,
+and crash propagation — a step that raises on a parallel backend must
+surface as :class:`WorkerStepError` naming the partition, promptly,
+with no hang and no orphaned workers.
+
+Run with ``--workers N`` (root conftest option; default 2, CI runs 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.backends import (BACKENDS, ProcessesBackend,
+                                    ShmArena, ThreadsBackend,
+                                    WorkerProgram, WorkerStepError,
+                                    create_backend, validate_backend)
+from repro.cluster.runtime import Process, SimulatedCluster
+from repro.core.distributed_ne import DistributedNE
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.partitioners.sne import SNEPartitioner
+
+PARALLEL = ("threads", "processes")
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return CSRGraph(rmat_edges(9, 6, seed=42))
+
+
+@pytest.fixture
+def workers(request) -> int:
+    return request.config.getoption("--workers")
+
+
+def _run_dne(graph, partitions, kernel, backend, workers):
+    return DistributedNE(partitions, seed=0, kernel=kernel,
+                         backend=backend, workers=workers).partition(graph)
+
+
+#: extra keys that must be identical across backends (everything
+#: deterministic: traffic, ops, memory, protocol counters)
+_PINNED_EXTRA = ("cluster", "ops_one_hop", "ops_two_hop", "mem_score",
+                 "membership", "model_selection_ops",
+                 "model_allocation_ops", "random_seed_requests",
+                 "remote_seed_requests")
+
+
+class TestDneBackendEquivalence:
+    @pytest.mark.parametrize("kernel", ["vectorized", "python"])
+    @pytest.mark.parametrize("partitions", [4, 64])
+    def test_backends_bit_identical(self, graph, kernel, partitions,
+                                    workers):
+        """simulated == threads == processes: assignments and every
+        deterministic accounting total, both kernels, |P| ∈ {4, 64}."""
+        base = _run_dne(graph, partitions, kernel, "simulated", None)
+        for backend in PARALLEL:
+            res = _run_dne(graph, partitions, kernel, backend, workers)
+            assert np.array_equal(res.assignment, base.assignment), backend
+            assert res.iterations == base.iterations, backend
+            for key in _PINNED_EXTRA:
+                assert res.extra[key] == base.extra[key], (backend, key)
+
+    def test_min_degree_seed_strategy_identical(self, graph, workers):
+        """The min_degree seed scan — SharedSeedSource routing through
+        ``seed_vertex_min_degree`` over the shm arrays on the processes
+        backend — must stay in lockstep with the in-process lookups
+        (every first iteration hits the empty-boundary fallback)."""
+        base = DistributedNE(4, seed=0,
+                             seed_strategy="min_degree").partition(graph)
+        for backend in PARALLEL:
+            res = DistributedNE(4, seed=0, seed_strategy="min_degree",
+                                backend=backend,
+                                workers=workers).partition(graph)
+            assert np.array_equal(res.assignment, base.assignment), backend
+            assert res.extra["cluster"] == base.extra["cluster"], backend
+
+    def test_history_identical(self, graph, workers):
+        """The per-iteration trace (Figure 6 series) survives gathering
+        through worker boundaries."""
+        base = DistributedNE(4, seed=0, collect_history=True).partition(graph)
+        for backend in PARALLEL:
+            res = DistributedNE(4, seed=0, collect_history=True,
+                                backend=backend,
+                                workers=workers).partition(graph)
+            assert res.extra["history"] == base.extra["history"], backend
+
+
+class TestSneBackendEquivalence:
+    @pytest.mark.parametrize("kernel", ["vectorized", "python"])
+    @pytest.mark.parametrize("partitions", [4, 64])
+    def test_backends_bit_identical(self, graph, kernel, partitions,
+                                    workers):
+        base = SNEPartitioner(partitions, seed=0, kernel=kernel).partition(
+            graph)
+        for backend in PARALLEL:
+            res = SNEPartitioner(partitions, seed=0, kernel=kernel,
+                                 backend=backend,
+                                 workers=workers).partition(graph)
+            assert np.array_equal(res.assignment, base.assignment), backend
+            assert res.extra["state_bytes"] == base.extra["state_bytes"]
+            assert res.extra["buffer_capacity"] == \
+                base.extra["buffer_capacity"]
+
+
+# ----------------------------------------------------------------------
+# Superstep protocol in isolation
+# ----------------------------------------------------------------------
+class _EchoProcess(Process):
+    """Sends one message of every plane/payload shape per step."""
+
+    def step(self, round_no: int):
+        role, k = self.pid
+        peer = ("echo", (k + 1) % 3)
+        self.send(peer, "eager", [(k, round_no)])
+        self.send_batched(peer, "bulk",
+                          np.array([[k, round_no]], dtype=np.int64))
+        self.send_fanout("fan", [(("echo", j), (k, j)) for j in range(3)])
+        self.set_resident("state", 64 * (round_no + 1))
+        self.account_rpc_pair(peer, 8)
+        got = self.receive("bulk")
+        return len(got)
+
+
+def _drive_echo(backend_name, workers):
+    cluster = SimulatedCluster()
+    procs = [cluster.add_process(_EchoProcess(("echo", k)))
+             for k in range(3)]
+    backend = create_backend(backend_name, workers)
+    backend.attach(cluster, procs)
+    try:
+        values = []
+        for round_no in range(3):
+            res = backend.run_superstep(
+                [(p.pid, "step", (round_no,)) for p in procs])
+            cluster.barrier()
+            values.append([res[p.pid].value for p in procs])
+    finally:
+        backend.close()
+    return values, cluster.stats.summary(), \
+        {repr(pid): (s.messages_sent, s.bytes_sent, s.messages_received,
+                     s.bytes_received, s.send_batches, s.receive_batches,
+                     s.peak_resident_bytes)
+         for pid, s in cluster.stats.per_process.items()}
+
+
+class TestOutboxReplay:
+    def test_threads_replay_matches_inline(self, workers):
+        """Every outbox entry kind (eager send, batched send, fanout,
+        resident report, RPC pair) replays to the identical cluster
+        state and per-process counters."""
+        base = _drive_echo("simulated", None)
+        assert _drive_echo("threads", workers) == base
+
+
+# ----------------------------------------------------------------------
+# Crash propagation
+# ----------------------------------------------------------------------
+class _BoomProcess(Process):
+    def step(self):
+        if self.pid == ("boom", 1):
+            raise RuntimeError("injected failure in partition 1")
+        return "ok"
+
+
+class _BoomProgram(WorkerProgram):
+    def build(self, owned_pids, views):
+        return {pid: _BoomProcess(pid) for pid in owned_pids}
+
+
+class TestCrashPropagation:
+    def _pids(self):
+        return [("boom", k) for k in range(3)]
+
+    def test_threads_surfaces_pid(self, workers):
+        cluster = SimulatedCluster()
+        procs = [cluster.add_process(_BoomProcess(pid))
+                 for pid in self._pids()]
+        backend = ThreadsBackend(workers)
+        backend.attach(cluster, procs)
+        try:
+            with pytest.raises(WorkerStepError, match=r"\('boom', 1\)"):
+                backend.run_superstep(
+                    [(pid, "step", ()) for pid in self._pids()])
+        finally:
+            backend.close()
+
+    def test_processes_surfaces_pid_no_hang(self, workers):
+        """A worker exception must come back as WorkerStepError naming
+        the partition — and close() must still tear the workers down."""
+        cluster = SimulatedCluster()
+        for pid in self._pids():
+            cluster.add_process(Process(pid))
+        backend = ProcessesBackend(workers)
+        backend.start(cluster, _BoomProgram(),
+                      {pid: i % workers
+                       for i, pid in enumerate(self._pids())}, {})
+        try:
+            with pytest.raises(WorkerStepError) as excinfo:
+                backend.run_superstep(
+                    [(pid, "step", ()) for pid in self._pids()])
+            assert "('boom', 1)" in str(excinfo.value)
+            assert "injected failure in partition 1" in excinfo.value.detail
+        finally:
+            backend.close()
+        assert not backend._procs_mp  # workers joined and cleared
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arena
+# ----------------------------------------------------------------------
+class TestShmArena:
+    def test_round_trip_and_views(self):
+        arrays = {
+            "a": np.arange(17, dtype=np.int64),
+            "b": np.zeros((3, 2), dtype=np.int32),
+            "c": np.array([], dtype=np.float64),
+        }
+        arena = ShmArena.create(arrays)
+        try:
+            attached = ShmArena.attach(arena.spec())
+            try:
+                for name, arr in arrays.items():
+                    view = attached.array(name)
+                    assert view.dtype == arr.dtype
+                    assert view.shape == arr.shape
+                    assert np.array_equal(view, arr)
+                # Writes through one attachment are visible in the other.
+                attached.array("a")[0] = 99
+                assert arena.array("a")[0] == 99
+            finally:
+                attached.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+class TestValidation:
+    def test_backend_names(self):
+        for name in BACKENDS:
+            assert validate_backend(name) == name
+        with pytest.raises(ValueError, match="backend must be one of"):
+            validate_backend("mpi")
+        with pytest.raises(ValueError, match="backend must be one of"):
+            DistributedNE(4, backend="mpi")
+        with pytest.raises(ValueError, match="backend must be one of"):
+            SNEPartitioner(4, backend="mpi")
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            ThreadsBackend(0)
+        with pytest.raises(ValueError):
+            ProcessesBackend(0)
+        # Fail-fast at construction, not deep inside the run.
+        with pytest.raises(ValueError, match="workers"):
+            DistributedNE(4, backend="threads", workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            SNEPartitioner(4, backend="processes", workers=-1)

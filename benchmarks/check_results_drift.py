@@ -98,8 +98,13 @@ def main() -> int:
         failures.extend((f"{path.name}:{where}", o, n)
                         for where, o, n in drift(old, new))
     if failures:
-        print("committed benchmark results drifted "
-              "(regenerate deliberately + note in CHANGES.md):")
+        # Lead with the first drifted field path: on a long list the
+        # tail scrolls past, and the first diff is usually the root
+        # cause (later ones are downstream of it).
+        where, o, n = failures[0]
+        print(f"first drift: {where}: {o!r} -> {n!r}")
+        print(f"committed benchmark results drifted in {len(failures)} "
+              "field(s) (regenerate deliberately + note in CHANGES.md):")
         for where, o, n in failures:
             print(f"  {where}: {o!r} -> {n!r}")
         return 1

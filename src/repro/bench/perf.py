@@ -577,6 +577,10 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
                 "workers": backend_workers,
                 "simulated_seconds": row["python_seconds"],
                 "backend_seconds": row["vectorized_seconds"],
+                # Fewer cores than workers: wall clock reflects the host,
+                # not the backend — smoke floors skip rather than fail.
+                "hardware_limited": bool(
+                    (os.cpu_count() or 1) < backend_workers),
             })
             rows.append(row)
 

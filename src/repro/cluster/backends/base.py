@@ -30,8 +30,12 @@ mailbox delivery order are bit-identical across backends (pinned by
 Contract summary
 ----------------
 ``run_superstep(steps, gather=())`` takes ``steps`` as a list of
-``(pid, method_name, args)`` triples; every named method must be a
-step function: it may read shared *read-only* structures (graph CSR,
+``(pid, method_name, args)`` triples.  ``method_name`` may be ``None``
+for a short-circuited step (the driver proved its mailbox payload is
+empty): the step is not invoked — it costs nothing on any backend —
+but its ``gathered`` attributes are still read, and backends count
+executed vs skipped steps in ``steps_executed`` / ``steps_skipped``.
+Every named method must be a step function: it may read shared *read-only* structures (graph CSR,
 placement), mutate only its own process state, and emit effects only
 through the outbox-capable :class:`~repro.cluster.runtime.Process`
 helpers.  The return maps ``pid -> StepResult(value, seconds,
@@ -115,16 +119,30 @@ class ExecutionBackend:
 
     name: str = "?"
 
+    #: fused phase plane (``None`` -> per-process dispatch only)
+    _plane = None
+    #: superstep bookkeeping: executed vs short-circuited steps
+    steps_executed: int = 0
+    steps_skipped: int = 0
+
     # -- lifecycle -----------------------------------------------------
-    def attach(self, cluster, processes) -> None:
+    def attach(self, cluster, processes, plane=None) -> None:
         """Bind the backend to a cluster and its (local) processes.
 
         Parallel in-process backends index ``processes`` by pid;
         the processes backend overrides the whole lifecycle (its
-        process objects live in the workers).
+        process objects live in the workers).  ``plane`` is an optional
+        fused dispatch plane (e.g.
+        :class:`~repro.core.fused.FusedDnePlane`): when every
+        executable step of a superstep names the same plane-supported
+        method, the backend issues one fused call instead of
+        per-process steps.
         """
         self.cluster = cluster
         self._procs = {proc.pid: proc for proc in processes}
+        self._plane = plane
+        self.steps_executed = 0
+        self.steps_skipped = 0
 
     def close(self) -> None:
         """Release workers/pools/shared segments.  Idempotent."""
@@ -132,6 +150,37 @@ class ExecutionBackend:
     # -- superstep execution -------------------------------------------
     def run_superstep(self, steps, gather=()) -> dict:
         raise NotImplementedError
+
+    def _count_steps(self, steps) -> None:
+        """Track executed vs short-circuited (``method is None``) steps.
+
+        Skip decisions are made by the driver *before* dispatch (from
+        the parent cluster's delivered mailboxes), so the counts are
+        identical across backends — pinned by ``tests/test_backends.py``.
+        """
+        executed = sum(1 for _, method, _ in steps if method is not None)
+        self.steps_executed += executed
+        self.steps_skipped += len(steps) - executed
+
+    def _fusable_method(self, steps):
+        """The single plane method this superstep fuses to, or ``None``.
+
+        Fusion requires a plane, at least one executable step, every
+        executable step naming the same plane-supported zero-argument
+        method.
+        """
+        plane = self._plane
+        if plane is None:
+            return None
+        methods = {method for _, method, _ in steps if method is not None}
+        if len(methods) != 1:
+            return None
+        method = next(iter(methods))
+        if method not in plane.methods:
+            return None
+        if any(args for _, method, args in steps if method is not None):
+            return None
+        return method
 
     # -- out-of-phase access -------------------------------------------
     def gather(self, pids, attrs) -> dict:
@@ -169,12 +218,42 @@ class SimulatedBackend(ExecutionBackend):
     name = "simulated"
 
     def run_superstep(self, steps, gather=()) -> dict:
+        self._count_steps(steps)
+        fused = self._fusable_method(steps)
+        if fused is not None:
+            return self._run_fused(fused, steps, gather)
         out = {}
         for pid, method, args in steps:
             proc = self._procs[pid]
+            if method is None:
+                out[pid] = StepResult(
+                    None, 0.0, {a: getattr(proc, a) for a in gather})
+                continue
             t0 = time.perf_counter()
             value = getattr(proc, method)(*args)
             seconds = time.perf_counter() - t0
             out[pid] = StepResult(value, seconds,
                                   {a: getattr(proc, a) for a in gather})
+        return out
+
+    def _run_fused(self, method, steps, gather) -> dict:
+        """One plane call for the whole superstep, effects inline.
+
+        Outboxes stay unarmed, so the plane's per-process emission order
+        (machines ascending, destinations ascending) creates the payload
+        buffers in exactly the order sequential per-process steps would
+        have.
+        """
+        run_pids = [pid for pid, m, _ in steps if m is not None]
+        t0 = time.perf_counter()
+        values = self._plane.run(method, run_pids)
+        seconds = time.perf_counter() - t0
+        out = {}
+        for pid, m, _ in steps:
+            proc = self._procs[pid]
+            gathered = {a: getattr(proc, a) for a in gather}
+            if m is None:
+                out[pid] = StepResult(None, 0.0, gathered)
+            else:
+                out[pid] = StepResult(values.get(pid), seconds, gathered)
         return out

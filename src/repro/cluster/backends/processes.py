@@ -68,6 +68,94 @@ class WorkerProgram:
         """
         raise NotImplementedError
 
+    def build_plane(self, procs: dict):
+        """Optional fused dispatch plane over this worker's processes.
+
+        Called once after :meth:`build`.  Return ``None`` (the
+        default) for per-process dispatch; return an object with
+        ``methods`` / ``run(method, pids)`` (e.g.
+        :class:`~repro.core.fused.FusedDnePlane`) to let the worker
+        fuse a superstep whose steps all name a supported method.
+        """
+        return None
+
+
+def _fused_items_method(plane, items):
+    """The single plane method one worker's items fuse to, or ``None``.
+
+    Mirrors ``ExecutionBackend._fusable_method`` for the worker-side
+    item tuples ``(idx, pid, method, args)``.
+    """
+    if plane is None:
+        return None
+    methods = {m for _, _, m, _ in items if m is not None}
+    if len(methods) != 1:
+        return None
+    method = next(iter(methods))
+    if method not in plane.methods:
+        return None
+    if any(args for _, _, m, args in items if m is not None):
+        return None
+    return method
+
+
+def _run_items(procs, plane, items, gather):
+    """Run one worker's superstep share; returns ``(results, failure)``.
+
+    Short-circuited items (``method is None``) cost nothing but still
+    gather.  When every live item names the same plane-supported
+    method, one fused plane call replaces the per-item loop, with
+    every live pid's outbox armed so each process's emissions land in
+    its own replay slot.
+    """
+    fused = _fused_items_method(plane, items)
+    if fused is not None:
+        run_pids = [pid for _, pid, m, _ in items if m is not None]
+        outboxes: dict = {}
+        for pid in run_pids:
+            outbox: list = []
+            procs[pid]._outbox = outbox
+            outboxes[pid] = outbox
+        t0 = time.perf_counter()
+        try:
+            values = plane.run(fused, run_pids)
+        except Exception:  # noqa: BLE001 - shipped to parent
+            return [], (run_pids[0], traceback.format_exc())
+        finally:
+            for pid in run_pids:
+                procs[pid]._outbox = None
+        seconds = time.perf_counter() - t0
+        results = []
+        for idx, pid, method, args in items:
+            proc = procs[pid]
+            gathered = {a: getattr(proc, a) for a in gather}
+            if method is None:
+                results.append((idx, pid, None, 0.0, [], gathered))
+            else:
+                results.append((idx, pid, values.get(pid), seconds,
+                                outboxes[pid], gathered))
+        return results, None
+    results = []
+    for idx, pid, method, args in items:
+        proc = procs[pid]
+        if method is None:
+            results.append((idx, pid, None, 0.0, [],
+                            {a: getattr(proc, a) for a in gather}))
+            continue
+        outbox: list = []
+        proc._outbox = outbox
+        t0 = time.perf_counter()
+        try:
+            value = getattr(proc, method)(*args)
+        except Exception:  # noqa: BLE001 - shipped to parent
+            return results, (pid, traceback.format_exc())
+        finally:
+            proc._outbox = None
+        seconds = time.perf_counter() - t0
+        gathered = {a: getattr(proc, a) for a in gather}
+        results.append((idx, pid, value, seconds, outbox, gathered))
+    return results, None
+
 
 def _worker_main(conn, program: WorkerProgram, owned_pids,
                  arena_specs: dict) -> None:
@@ -75,6 +163,7 @@ def _worker_main(conn, program: WorkerProgram, owned_pids,
              for name, spec in arena_specs.items()}
     try:
         procs = program.build(owned_pids, views)
+        plane = program.build_plane(procs)
         # Initial resident reports (made in constructors, before any
         # cluster attach) travel to the parent accountant with the
         # ready handshake.
@@ -94,24 +183,7 @@ def _worker_main(conn, program: WorkerProgram, owned_pids,
                 _, items, inbox, gather = msg
                 for key, delivered in inbox:
                     wcluster._delivered[key].extend(delivered)
-                results = []
-                failure = None
-                for idx, pid, method, args in items:
-                    proc = procs[pid]
-                    outbox: list = []
-                    proc._outbox = outbox
-                    t0 = time.perf_counter()
-                    try:
-                        value = getattr(proc, method)(*args)
-                    except Exception:  # noqa: BLE001 - shipped to parent
-                        failure = (pid, traceback.format_exc())
-                        break
-                    finally:
-                        proc._outbox = None
-                    seconds = time.perf_counter() - t0
-                    gathered = {a: getattr(proc, a) for a in gather}
-                    results.append((idx, pid, value, seconds, outbox,
-                                    gathered))
+                results, failure = _run_items(procs, plane, items, gather)
                 if failure is not None:
                     conn.send(("step_error", failure[0], failure[1]))
                 else:
@@ -177,6 +249,8 @@ class ProcessesBackend(ExecutionBackend):
         unlinked at :meth:`close`).
         """
         self.cluster = cluster
+        self.steps_executed = 0
+        self.steps_skipped = 0
         self._arenas = dict(arenas)
         nworkers = self.workers
         self._worker_of = {pid: w % nworkers
@@ -228,6 +302,7 @@ class ProcessesBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def run_superstep(self, steps, gather=()) -> dict:
         assert self._started, "backend not started"
+        self._count_steps(steps)
         nworkers = len(self._conns)
         per_worker = [[] for _ in range(nworkers)]
         for idx, (pid, method, args) in enumerate(steps):

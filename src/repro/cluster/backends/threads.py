@@ -44,8 +44,8 @@ class ThreadsBackend(ExecutionBackend):
         self.workers = workers
         self._pool: ThreadPoolExecutor | None = None
 
-    def attach(self, cluster, processes) -> None:
-        super().attach(cluster, processes)
+    def attach(self, cluster, processes, plane=None) -> None:
+        super().attach(cluster, processes, plane)
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers,
             thread_name_prefix="repro-backend")
@@ -70,13 +70,19 @@ class ThreadsBackend(ExecutionBackend):
 
     def run_superstep(self, steps, gather=()) -> dict:
         assert self._pool is not None, "backend not attached"
+        self._count_steps(steps)
+        fused = self._fusable_method(steps)
+        if fused is not None:
+            return self._run_fused(fused, steps, gather)
+        live = [(pid, method, args) for pid, method, args in steps
+                if method is not None]
         futures = [self._pool.submit(self._run_one, pid, method, args, gather)
-                   for pid, method, args in steps]
+                   for pid, method, args in live]
         # Await everything before touching the cluster: replay must see
         # the complete superstep, and an error must not leave stragglers
         # racing the parent.
         outcomes = []
-        for (pid, _, _), fut in zip(steps, futures):
+        for (pid, _, _), fut in zip(live, futures):
             try:
                 outcomes.append((pid, fut.result(), None))
             except Exception as exc:  # noqa: BLE001 - repackaged with pid
@@ -88,6 +94,80 @@ class ThreadsBackend(ExecutionBackend):
         for pid, (value, seconds, outbox, gathered), _ in outcomes:
             apply_outbox(self.cluster, pid, outbox)
             out[pid] = StepResult(value, seconds, gathered)
+        for pid, method, _ in steps:
+            if method is None:
+                proc = self._procs[pid]
+                out[pid] = StepResult(
+                    None, 0.0, {a: getattr(proc, a) for a in gather})
+        return out
+
+    # ------------------------------------------------------------------
+    def _fused_chunk(self, method: str, chunk):
+        """Run one contiguous pid chunk of a fused superstep.
+
+        Arms every chunk member's outbox for the duration of the plane
+        call: all of a process's emissions land in its own outbox no
+        matter which chunk thread made them, so replay order is
+        governed purely by step-list order, as for per-process steps.
+        """
+        procs = [self._procs[pid] for pid in chunk]
+        outboxes = {}
+        for proc in procs:
+            outbox: list = []
+            proc._outbox = outbox
+            outboxes[proc.pid] = outbox
+        t0 = time.perf_counter()
+        try:
+            values = self._plane.run(method, chunk)
+        finally:
+            for proc in procs:
+                proc._outbox = None
+        seconds = time.perf_counter() - t0
+        return values, seconds, outboxes
+
+    def _run_fused(self, method, steps, gather) -> dict:
+        """Fused superstep split into per-thread contiguous pid chunks.
+
+        Machines are state-disjoint in the fused plane (per-machine
+        row/segment views of the fused arrays), so concurrent chunk
+        calls never touch the same elements; each chunk is one plane
+        call, so a 256-machine phase costs ``workers`` dispatches
+        instead of 256.
+        """
+        run_pids = [pid for pid, m, _ in steps if m is not None]
+        nchunks = min(self.workers, len(run_pids))
+        bounds = [len(run_pids) * i // nchunks for i in range(nchunks + 1)]
+        chunks = [run_pids[bounds[i]:bounds[i + 1]] for i in range(nchunks)]
+        futures = [self._pool.submit(self._fused_chunk, method, chunk)
+                   for chunk in chunks]
+        outcomes = []
+        for chunk, fut in zip(chunks, futures):
+            try:
+                outcomes.append((chunk, fut.result(), None))
+            except Exception as exc:  # noqa: BLE001 - repackaged with pid
+                outcomes.append((chunk, None, exc))
+        for chunk, _, exc in outcomes:
+            if exc is not None:
+                raise WorkerStepError(chunk[0], repr(exc)) from exc
+        values: dict = {}
+        seconds_of: dict = {}
+        outbox_of: dict = {}
+        for chunk, (vals, seconds, outboxes), _ in outcomes:
+            values.update(vals)
+            outbox_of.update(outboxes)
+            for pid in chunk:
+                seconds_of[pid] = seconds
+        out = {}
+        for pid, m, _ in steps:
+            proc = self._procs[pid]
+            if m is not None:
+                apply_outbox(self.cluster, pid, outbox_of[pid])
+            gathered = {a: getattr(proc, a) for a in gather}
+            if m is None:
+                out[pid] = StepResult(None, 0.0, gathered)
+            else:
+                out[pid] = StepResult(values.get(pid), seconds_of[pid],
+                                      gathered)
         return out
 
     # ------------------------------------------------------------------

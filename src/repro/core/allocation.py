@@ -383,6 +383,13 @@ class AllocationProcess(Process):
         self.ops_one_hop = 0
         self.ops_two_hop = 0
 
+        # Per-iteration outboxes of the allocation phases, reset by
+        # two_hop_and_report.  Initialised here (not lazily in
+        # one_hop_and_sync) so a superstep scheduler may skip an
+        # empty-mailbox one-hop step and still run the two-hop step.
+        self._ep_new: dict[int, list] = defaultdict(list)
+        self._bp_new: list = []
+
         self.report_memory()
 
     # ------------------------------------------------------------------

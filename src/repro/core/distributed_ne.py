@@ -55,9 +55,12 @@ from repro.cluster.backends import (ProcessesBackend, WorkerProgram,
                                     validate_backend)
 from repro.cluster.backends.shm import ShmArena, graph_from_views
 from repro.cluster.runtime import Process, SimulatedCluster
-from repro.core.allocation import (AllocationProcess, seed_vertex_min_degree,
+from repro.core.allocation import (TAG_BOUNDARY, TAG_EDGES, TAG_SELECT,
+                                   TAG_SYNC, AllocationProcess,
+                                   seed_vertex_min_degree,
                                    seed_vertex_random)
 from repro.core.expansion import DirectSeedSource, ExpansionProcess
+from repro.core.fused import FusedDnePlane
 from repro.core.hash2d import Hash1DPlacement, Hash2DPlacement
 from repro.graph.csr import CSRGraph
 from repro.kernels import validate_kernel
@@ -113,7 +116,7 @@ class DneWorkerProgram(WorkerProgram):
 
     def __init__(self, num_partitions: int, placement, two_hop: bool,
                  kernel: str, lam: float, seed: int, seed_strategy: str,
-                 limit: int, total_edges: int):
+                 limit: int, total_edges: int, fused: bool = True):
         self.num_partitions = num_partitions
         self.placement = placement
         self.two_hop = two_hop
@@ -123,6 +126,7 @@ class DneWorkerProgram(WorkerProgram):
         self.seed_strategy = seed_strategy
         self.limit = limit
         self.total_edges = total_edges
+        self.fused = fused
 
     def build(self, owned_pids, views: dict) -> dict:
         garena = views["graph"]
@@ -153,6 +157,11 @@ class DneWorkerProgram(WorkerProgram):
                     seed_strategy=self.seed_strategy, kernel=self.kernel,
                     seed_source=seed_source)
         return procs
+
+    def build_plane(self, procs: dict):
+        if not self.fused or self.kernel != "vectorized":
+            return None
+        return FusedDnePlane(list(procs.values()), self.placement)
 
 
 class DistributedNE(Partitioner):
@@ -210,6 +219,17 @@ class DistributedNE(Partitioner):
     workers:
         Worker count for the parallel backends (default 4; ignored by
         ``"simulated"``).
+    fused:
+        Fused cross-partition phase dispatch (default on for the
+        vectorized kernel; no-op under ``kernel="python"``).  Each
+        scheduler builds a :class:`~repro.core.fused.FusedDnePlane`
+        over its processes, so every selection/one-hop/two-hop
+        superstep is one segmented kernel call (machine id as a data
+        axis) instead of ``|P|`` small ones — this is what breaks the
+        |P| ≫ 64 dispatch-overhead crossover.  Bit-identical to
+        per-process dispatch on assignments, counters, message
+        traffic, and memory totals (pinned by the kernel-equivalence
+        and backend tests); ``fused=False`` forces per-process steps.
     """
 
     name = "distributed_ne"
@@ -222,7 +242,8 @@ class DistributedNE(Partitioner):
                  collect_history: bool = False,
                  kernel: str = "vectorized",
                  backend: str = "simulated",
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 fused: bool | None = None):
         super().__init__(num_partitions, seed)
         if alpha < 1.0:
             raise ValueError("imbalance factor alpha must be >= 1.0")
@@ -246,6 +267,13 @@ class DistributedNE(Partitioner):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.fused = fused
+
+    def _use_fused(self) -> bool:
+        """Fused dispatch applies only to the vectorized kernel."""
+        if self.kernel != "vectorized":
+            return False
+        return True if self.fused is None else bool(self.fused)
 
     # ------------------------------------------------------------------
     def _partition(self, graph: CSRGraph) -> EdgePartition:
@@ -296,7 +324,10 @@ class DistributedNE(Partitioner):
                 seed_source = DirectSeedSource(allocators)
                 for expander in expanders:
                     expander.seed_source = seed_source
-                backend.attach(cluster, allocators + expanders)
+                plane = None
+                if self._use_fused():
+                    plane = FusedDnePlane(allocators + expanders, placement)
+                backend.attach(cluster, allocators + expanders, plane=plane)
             load_seconds = time.perf_counter() - t0
 
             iterations = 0
@@ -316,13 +347,25 @@ class DistributedNE(Partitioner):
             model_allocation = 0
             prev_sel_ops = dict.fromkeys(exp_pids, 0)
             prev_alloc_ops = dict.fromkeys(alloc_pids, 0)
+            # Empty-mailbox short-circuit: a step whose entire input —
+            # the mail delivered at the last barrier — is absent is
+            # submitted with ``method=None`` (gather-only) on every
+            # backend.  The reference step would be a no-op: send sites
+            # never emit empty payloads, so key presence in the parent
+            # mailboxes is exactly "this step has work"; skipped steps
+            # emit nothing and report nothing, keeping totals identical.
+            delivered = cluster._delivered
+            finished_prev = dict.fromkeys(exp_pids, False)
             while True:
                 iterations += 1
-                # Step 1: selection + multicast.
+                # Step 1: selection + multicast (a finished process's
+                # step is `return 0`; skip it).
                 sel = backend.run_superstep(
-                    [(pid, "select_and_multicast", ()) for pid in exp_pids],
+                    [(pid, None if finished_prev[pid]
+                      else "select_and_multicast", ())
+                     for pid in exp_pids],
                     gather=("selection_ops",))
-                sent = sum(r.value for r in sel.values())
+                sent = sum(r.value or 0 for r in sel.values())
                 parallel_selection += max(r.seconds for r in sel.values())
                 sel_ops = {pid: sel[pid].gathered["selection_ops"]
                            for pid in exp_pids}
@@ -332,12 +375,22 @@ class DistributedNE(Partitioner):
                 cluster.barrier()  # Step 2
 
                 ta = time.perf_counter()
+                one_ran = {pid: (pid, TAG_SELECT) in delivered
+                           for pid in alloc_pids}
                 one = backend.run_superstep(  # Step 3
-                    [(pid, "one_hop_and_sync", ()) for pid in alloc_pids])
+                    [(pid, "one_hop_and_sync" if one_ran[pid] else None, ())
+                     for pid in alloc_pids])
                 slowest = max(r.seconds for r in one.values())
                 cluster.barrier()
+                # Two-hop must run whenever one-hop did (it flushes the
+                # one-hop outboxes and reports memory) or sync mail
+                # arrived; with neither it would only re-report
+                # unchanged residents.
                 two = backend.run_superstep(  # Step 4
-                    [(pid, "two_hop_and_report", ()) for pid in alloc_pids],
+                    [(pid, "two_hop_and_report"
+                      if one_ran[pid] or (pid, TAG_SYNC) in delivered
+                      else None, ())
+                     for pid in alloc_pids],
                     gather=("ops_one_hop", "ops_two_hop"))
                 slowest = max(slowest,
                               max(r.seconds for r in two.values()))
@@ -353,7 +406,10 @@ class DistributedNE(Partitioner):
                 cluster.barrier()          # Step 5
 
                 upd = backend.run_superstep(
-                    [(pid, "update_state", ()) for pid in exp_pids],
+                    [(pid, "update_state"
+                      if (pid, TAG_BOUNDARY) in delivered
+                      or (pid, TAG_EDGES) in delivered else None, ())
+                     for pid in exp_pids],
                     gather=("edge_count",))
                 global_allocated = int(cluster.all_gather_sum(
                     {pid: upd[pid].gathered["edge_count"]
@@ -364,6 +420,8 @@ class DistributedNE(Partitioner):
                     [(pid, "check_termination", (global_allocated,))
                      for pid in exp_pids],
                     gather=term_gather)
+                finished_prev = {pid: term[pid].gathered["finished"]
+                                 for pid in exp_pids}
 
                 if self.collect_history:
                     history.append({
@@ -395,6 +453,8 @@ class DistributedNE(Partitioner):
             alloc_stats = backend.gather(
                 alloc_pids, ("ops_one_hop", "ops_two_hop",
                              "membership_kind"))
+            steps_executed = backend.steps_executed
+            steps_skipped = backend.steps_skipped
         finally:
             backend.close()
 
@@ -438,6 +498,10 @@ class DistributedNE(Partitioner):
                                for pid in alloc_pids),
             "ops_two_hop": sum(alloc_stats[pid]["ops_two_hop"]
                                for pid in alloc_pids),
+            # Superstep dispatch bookkeeping: driver-side skip decisions
+            # are backend-independent, so these match across backends.
+            "steps_executed": steps_executed,
+            "steps_skipped": steps_skipped,
             "cluster": stats,
             "mem_score": (cluster.stats.mem_score(graph.num_edges)
                           if graph.num_edges else float("nan")),
@@ -495,7 +559,8 @@ class DistributedNE(Partitioner):
 
             program = DneWorkerProgram(
                 p, placement, self.two_hop, self.kernel, self.lam,
-                self.seed, self.seed_strategy, limit, graph.num_edges)
+                self.seed, self.seed_strategy, limit, graph.num_edges,
+                fused=self._use_fused())
             backend.start(cluster, program, pid_to_worker, arenas)
         except BaseException:
             for arena in arenas.values():

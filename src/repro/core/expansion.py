@@ -381,18 +381,28 @@ class ExpansionProcess(Process):
         self.random_seed_requests += 1
         order = [self.partition] + [
             p for p in range(self.num_partitions) if p != self.partition]
+        # Probe first, account after: the RPC pricing never touches the
+        # RNG or the probes, so deferring the per-remote accounting of
+        # the scanned prefix to one bulk call leaves the counters (and
+        # the outbox entry sequence) identical while the O(|P|) scan
+        # loop stays free of per-probe accounting dispatch.
+        probed: list = []
+        found = None
+        min_degree = self.seed_strategy == "min_degree"
         for proc_id in order:
             if proc_id != self.partition:
-                self.remote_seed_requests += 1
-                # request + response, 8 bytes each way
-                self.account_rpc_pair(("alloc", proc_id), 8)
-            if self.seed_strategy == "min_degree":
+                probed.append(("alloc", proc_id))
+            if min_degree:
                 v = seed_source.min_degree_vertex(proc_id)
             else:
                 v = seed_source.random_vertex(proc_id, self.rng)
             if v is not None:
-                return v
-        return None
+                found = v
+                break
+        self.remote_seed_requests += len(probed)
+        # request + response, 8 bytes each way, per scanned remote
+        self.account_rpc_pairs(probed, 8)
+        return found
 
     @property
     def boundary_size(self) -> int:

@@ -1,0 +1,725 @@
+"""Fused cross-partition phase dispatch for Distributed NE.
+
+At |P| ≫ 64 the vectorized kernels lose end-to-end: per iteration the
+driver dispatches one step *per machine* per phase, and each step's
+batch is tiny — the per-call NumPy setup floor of ~|P| small kernel
+invocations dominates (ROADMAP's |P| ≫ 64 crossover, `dne_p256` at
+0.5×).  :class:`FusedDnePlane` removes the dispatch axis: machine id
+becomes a *segment axis* of one concatenated state, and each DNE phase
+runs as a single batched kernel over per-machine segments
+(``searchsorted`` / ``np.add.at`` / segment splits over offset arrays
+instead of a Python loop over processes).
+
+Equivalence contract (the hard constraint, pinned by
+``tests/test_kernel_equivalence.py`` and ``tests/test_backends.py``):
+the plane is *observationally identical* to per-process dispatch —
+bit-identical assignments, ops counters, message payloads, payload
+order, and memory reports.  The mechanisms:
+
+* **Shared mutable state, fused layout.**  Each allocator's ``alloc``
+  array, ``_part_loads`` vector and membership matrix are re-pointed at
+  row/segment *views* of one fused array (same dtype and per-machine
+  shape, so ``report_memory`` totals are unchanged).  ``rest_degree``
+  stays per-process — the processes backend maps it into shared
+  memory per machine.  Read-only structures (adjacency, CSR maps) are
+  plane-private fused copies; the per-process originals keep serving
+  the memory model.
+* **Round-synchronous one-hop.**  The per-process kernel walks its
+  (partition, vertex) groups in ascending partition order, each group
+  observing the writes of earlier groups.  The fused kernel runs
+  *rounds*: round j processes the j-th group of every machine in one
+  batch.  Machines' states are disjoint, so a round's batched probe of
+  pre-round state is exactly each machine's pre-group probe, and
+  sequential rounds reproduce each machine's group order.
+* **Deterministic emission order.**  Fused payload buffers are sliced
+  back into the exact per-``(src, dst, tag)`` batches the accounting
+  model prices: one stable sort by (machine, destination) recovers
+  each process's per-destination concatenation, and emission loops run
+  machines ascending, destinations ascending — the order the simulated
+  scheduler's sequential steps would have created the buffers in.  All
+  traffic goes through the owning ``Process`` helpers, so outbox
+  capture on parallel backends works unchanged.
+
+The plane serves ``select_and_multicast``, ``one_hop_and_sync`` and
+``two_hop_and_report``; ``update_state`` / ``check_termination`` stay
+per-process (cheap folds of each process's own mailbox).  Vectorized
+kernel only — the reference kernel keeps its per-process steps.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster.runtime import pair_array
+from repro.core.allocation import (TAG_SELECT, TAG_SYNC,
+                                   AllocationProcess)
+from repro.core.expansion import ExpansionProcess
+from repro.graph.csr import adjacency_slots, first_occurrence
+
+__all__ = ["FusedDnePlane"]
+
+
+def _segments(arr: np.ndarray, starts: np.ndarray) -> list:
+    """Segment views ``arr[starts[i]:starts[i+1]]`` (the last running to
+    the end) — what ``np.split(arr, starts[1:])`` returns, without its
+    per-segment ``swapaxes`` machinery (phases emit hundreds of tiny
+    segments, so the split overhead shows up in the |P| = 256 profile).
+    """
+    bounds = starts.tolist()
+    bounds.append(len(arr))
+    return [arr[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+class FusedDnePlane:
+    """Single-kernel-call-per-phase dispatch over a set of DNE processes.
+
+    Built from the (subset of) allocation/expansion processes one
+    scheduler owns — the whole cluster for the simulated/threads
+    backends, one worker's share for the processes backend.  ``run``
+    may be called with any subset of the attached pids (empty-mailbox
+    steps are short-circuited by the driver before dispatch).
+    """
+
+    #: step methods the plane can fuse
+    methods = frozenset({"select_and_multicast", "one_hop_and_sync",
+                         "two_hop_and_report"})
+
+    def __init__(self, processes, placement):
+        allocs = sorted((p for p in processes
+                         if isinstance(p, AllocationProcess)),
+                        key=lambda a: a.machine)
+        self._exp = {p.pid: p for p in processes
+                     if isinstance(p, ExpansionProcess)}
+        self._placement = placement
+        for a in allocs:
+            if a.kernel != "vectorized":
+                raise ValueError(
+                    "FusedDnePlane requires the vectorized kernel")
+        self._alloc_procs = allocs
+        m = len(allocs)
+        self._m = m
+        self._machines = np.array([a.machine for a in allocs],
+                                  dtype=np.int64)
+        self._mindex = {int(a.machine): i for i, a in enumerate(allocs)}
+        if not m:
+            self._width = placement.num_processes
+            self._g = 1
+            self._pending_bp: dict = {}
+            self._pending_edges: dict = {}
+            return
+        self._g = max(allocs[0].graph.num_vertices, 1)
+        width = len(allocs[0]._part_loads)
+        if any(len(a._part_loads) != width for a in allocs):
+            raise ValueError("allocators disagree on partition width")
+        self._width = width
+
+        # -- fused read-only layout (plane-private copies; the
+        # per-process originals keep backing report_memory) ------------
+        nv = np.array([len(a.local_vertices) for a in allocs],
+                      dtype=np.int64)
+        ne = np.array([len(a.eids) for a in allocs], dtype=np.int64)
+        ns = np.array([int(a._adj_ptr[-1]) for a in allocs],
+                      dtype=np.int64)
+        self._voff = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(nv, out=self._voff[1:])
+        self._eoff = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(ne, out=self._eoff[1:])
+        soff = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(ns, out=soff[1:])
+        g = self._g
+        #: machine-major presence keys: mi * G + vertex, sorted unique
+        self._vkeys = np.concatenate(
+            [i * g + a.local_vertices for i, a in enumerate(allocs)])
+        self._lv_global = np.concatenate(
+            [a.local_vertices for a in allocs])
+        self._adj_ptr = np.concatenate(
+            [a._adj_ptr[:-1] + soff[i] for i, a in enumerate(allocs)]
+            + [soff[-1:]])
+        self._adj_eid = np.concatenate(
+            [a._adj_eid.astype(np.int64) + self._eoff[i]
+             for i, a in enumerate(allocs)])
+        self._adj_other = np.concatenate(
+            [a._adj_other.astype(np.int64) + self._voff[i]
+             for i, a in enumerate(allocs)])
+        self._lsrc = np.concatenate(
+            [a._lsrc.astype(np.int64) + self._voff[i]
+             for i, a in enumerate(allocs)])
+        self._ldst = np.concatenate(
+            [a._ldst.astype(np.int64) + self._voff[i]
+             for i, a in enumerate(allocs)])
+        self._eids = np.concatenate([a.eids for a in allocs])
+
+        # -- fused mutable state, re-pointed as per-machine views ------
+        alloc_f = np.concatenate([a.alloc for a in allocs])
+        for i, a in enumerate(allocs):
+            a.alloc = alloc_f[self._eoff[i]:self._eoff[i + 1]]
+        self._alloc = alloc_f
+        loads = np.vstack([a._part_loads for a in allocs])
+        for i, a in enumerate(allocs):
+            a._part_loads = loads[i]
+        self._loads = loads
+        kind = allocs[0]._member.kind
+        if any(a._member.kind != kind for a in allocs):
+            raise ValueError("allocators disagree on membership layout")
+        cls = allocs[0]._member.__class__
+        self._member = cls(0, width)
+        if kind == "dense":
+            mat = np.concatenate([a._member._mat for a in allocs], axis=0)
+            for i, a in enumerate(allocs):
+                a._member._mat = mat[self._voff[i]:self._voff[i + 1]]
+            self._member._mat = mat
+        else:
+            words = np.concatenate([a._member._words for a in allocs],
+                                   axis=0)
+            for i, a in enumerate(allocs):
+                a._member._words = words[self._voff[i]:self._voff[i + 1]]
+            self._member._words = words
+
+        #: one-hop outputs awaiting two_hop_and_report, per machine idx
+        self._pending_bp = {}
+        self._pending_edges = {}
+
+    # ------------------------------------------------------------------
+    def run(self, method: str, pids) -> dict:
+        """Run one fused superstep for ``pids``; returns pid -> value."""
+        if method == "select_and_multicast":
+            return self._run_select(pids)
+        if method == "one_hop_and_sync":
+            return self._run_one_hop(pids)
+        if method == "two_hop_and_report":
+            return self._run_two_hop(pids)
+        raise ValueError(f"unsupported fused method {method!r}")
+
+    # ------------------------------------------------------------------
+    # Selection: per-process pops (boundary state is per-process), one
+    # batched replica_membership over every selected vertex, fused
+    # fan-out sliced back per (source, destination).
+    # ------------------------------------------------------------------
+    def _run_select(self, pids) -> dict:
+        values: dict = {}
+        sel_chunks: list = []
+        srcs: list = []
+        for pid in pids:
+            proc = self._exp[pid]
+            if proc.finished:
+                values[pid] = 0
+                continue
+            start = time.perf_counter()
+            if len(proc.boundary):
+                k = max(1, int(np.ceil(proc.lam * len(proc.boundary))))
+                sel = proc.boundary.pop_k_min_array(k)
+            else:
+                v = proc._random_seed(proc.seed_source)
+                sel = (np.empty(0, dtype=np.int64) if v is None
+                       else np.array([v], dtype=np.int64))
+            proc.selection_seconds += time.perf_counter() - start
+            values[pid] = len(sel)
+            if len(sel):
+                sel_chunks.append(sel)
+                srcs.append(proc)
+        if not sel_chunks:
+            return values
+        counts = np.array([len(c) for c in sel_chunks], dtype=np.int64)
+        selected = np.concatenate(sel_chunks)
+        src_idx = np.repeat(np.arange(len(srcs), dtype=np.int64), counts)
+        rows = np.empty((len(selected), 2), dtype=np.int64)
+        rows[:, 0] = selected
+        rows[:, 1] = np.repeat(
+            np.array([p.partition for p in srcs], dtype=np.int64), counts)
+
+        masks = self._placement.replica_membership(selected)
+        width = masks.shape[1]
+        vidx, dsts = np.nonzero(masks)
+        hit_src = src_idx[vidx]
+        ops = np.bincount(hit_src, minlength=len(srcs))
+        for i, proc in enumerate(srcs):
+            proc.selection_ops += int(ops[i])
+        # Stable sort by (source, destination): within a pair, hits stay
+        # in selection order — each source's per-destination payload is
+        # exactly its per-process `masks.T` fan-out slice.
+        key = hit_src * width + dsts
+        order = np.argsort(key, kind="stable")
+        hit_rows = rows[vidx[order]]
+        kord = key[order]
+        starts = np.flatnonzero(np.concatenate(
+            ([True], kord[1:] != kord[:-1])))
+        chunks = _segments(hit_rows, starts)
+        seg_key = kord[starts]
+        seg_src = (seg_key // width).tolist()
+        seg_dst = (seg_key % width).tolist()
+        nseg = len(starts)
+        if srcs[0]._outbox is None:
+            # Simulated scheduler: one bulk-priced delivery for the
+            # whole multicast sweep ((src, dst) pairs are distinct by
+            # construction — one group per pair).
+            bounds = np.append(starts, len(hit_rows))
+            nb = (bounds[1:] - bounds[:-1]) * hit_rows.itemsize * 2
+            src_parts = np.array([p.partition for p in srcs],
+                                 dtype=np.int64)
+            src_pids = [p.pid for p in srcs]
+            entries = [(("alloc", seg_dst[i]),
+                        (src_pids[seg_src[i]], chunks[i]))
+                       for i in range(nseg)]
+            srcs[0].cluster.deliver_segments(
+                TAG_SELECT, entries,
+                "expansion", src_parts[seg_key // width],
+                "alloc", seg_key % width, nb)
+            return values
+        si = 0
+        for i, proc in enumerate(srcs):
+            dest_payloads = []
+            while si < nseg and seg_src[si] == i:
+                dest_payloads.append((("alloc", int(seg_dst[si])),
+                                      chunks[si]))
+                si += 1
+            if dest_payloads:
+                proc.send_fanout(TAG_SELECT, dest_payloads)
+        return values
+
+    # ------------------------------------------------------------------
+    # One-hop allocation + sync fan-out.
+    # ------------------------------------------------------------------
+    def _run_one_hop(self, pids) -> dict:
+        mis = sorted(self._mindex[pid[1]] for pid in pids)
+        out = {("alloc", int(self._machines[mi])): None for mi in mis}
+        for mi in mis:
+            self._pending_bp.pop(mi, None)
+            self._pending_edges.pop(mi, None)
+        g, width, m = self._g, self._width, self._m
+        chunks: list = []
+        chunk_mi: list = []
+        for mi in mis:
+            for _, payload in self._alloc_procs[mi].receive(TAG_SELECT):
+                c = pair_array(payload)
+                if len(c):
+                    chunks.append(c)
+                    chunk_mi.append(mi)
+        if not chunks:
+            return out
+        arr = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        m_row = np.repeat(np.array(chunk_mi, dtype=np.int64),
+                          np.array([len(c) for c in chunks]))
+        if int(arr[:, 1].max()) >= width:
+            raise ValueError(
+                "fused dispatch cannot grow partition capacity; "
+                "partition id exceeds the deployment width")
+        # Dedup per (machine, partition, vertex); np.unique sorts, which
+        # is each machine's (p, v)-lexicographic reference walk order.
+        keys = np.unique((m_row * width + arr[:, 1]) * g + arr[:, 0])
+        mp = keys // g
+        mi_r = mp // width
+        p_r = mp % width
+        # Presence: machine-major searchsorted over the fused vertex keys.
+        vk = mi_r * g + keys % g
+        nvk = len(self._vkeys)
+        pos = np.searchsorted(self._vkeys, vk)
+        pos_c = np.minimum(pos, max(nvk - 1, 0))
+        present = ((pos < nvk) & (self._vkeys[pos_c] == vk)) if nvk else \
+            np.zeros(len(vk), dtype=bool)
+        if not present.any():
+            return out
+        lv = pos[present]
+        mi_r, p_r, mp = mi_r[present], p_r[present], mp[present]
+
+        # Round schedule: rank each (machine, partition) group within
+        # its machine; round j batches every machine's j-th group.
+        grp_change = np.concatenate(([True], mp[1:] != mp[:-1]))
+        grp_id = np.cumsum(grp_change) - 1
+        m_starts = np.flatnonzero(np.concatenate(
+            ([True], mi_r[1:] != mi_r[:-1])))
+        m_lens = np.diff(np.concatenate((m_starts, [len(mp)])))
+        rank = grp_id - np.repeat(grp_id[m_starts], m_lens)
+        order = np.argsort(rank, kind="stable")
+        rank_s = rank[order]
+        r_starts = np.flatnonzero(np.concatenate(
+            ([True], rank_s[1:] != rank_s[:-1])))
+        r_ends = np.concatenate((r_starts[1:], [len(order)]))
+
+        alloc_f = self._alloc
+        member = self._member
+        ops_acc = np.zeros(m, dtype=np.int64)
+        ev_mi: list = []     # per allocation event: machine idx
+        ev_p: list = []      # ... partition
+        ev_les: list = []    # ... fused local edge id
+        bp_chunks: list = []     # boundary (u, p) row batches
+        bp_mi: list = []         # machine idx per boundary row
+        sync_src: list = []      # machine idx per sync hit
+        sync_dst: list = []      # destination machine per sync hit
+        sync_pos: list = []      # boundary-row buffer position per hit
+        buf_off = 0
+        for rs, re in zip(r_starts.tolist(), r_ends.tolist()):
+            sel = order[rs:re]
+            lv_r, p_rr, mi_rr = lv[sel], p_r[sel], mi_r[sel]
+            slot_idx, counts = adjacency_slots(self._adj_ptr, lv_r)
+            np.add.at(ops_acc, mi_rr, counts)
+            new_les = ev_t = p_ev = mi_ev = None
+            if len(slot_idx):
+                les = self._adj_eid[slot_idx]
+                free = alloc_f[les] == -1
+                les_f = les[free]
+                if len(les_f):
+                    occ = first_occurrence(les_f)
+                    new_les = les_f[occ]
+                    ev_t = self._adj_other[slot_idx][free][occ]
+                    p_slot = np.repeat(p_rr, counts)[free][occ]
+                    mi_slot = np.repeat(mi_rr, counts)[free][occ]
+                    p_ev, mi_ev = p_slot, mi_slot
+                    alloc_f[new_les] = p_ev
+                    # Probe pre-round membership before any set of this
+                    # round (machines are state-disjoint, so this is
+                    # each machine's pre-group probe).
+                    unknown = ~member.test_pairs(ev_t, p_ev)
+            member.set_pairs(lv_r, p_rr)
+            if new_les is None:
+                continue
+            member.set_pairs(ev_t, p_ev)
+            ev_mi.append(mi_ev)
+            ev_p.append(p_ev)
+            ev_les.append(new_les)
+            cand = ev_t[unknown]
+            if not len(cand):
+                continue
+            tocc = first_occurrence(cand)
+            nt = cand[tocc]
+            nt_p = p_ev[unknown][tocc]
+            nt_mi = mi_ev[unknown][tocc]
+            us = self._lv_global[nt]
+            rows = np.empty((len(us), 2), dtype=np.int64)
+            rows[:, 0] = us
+            rows[:, 1] = nt_p
+            bp_chunks.append(rows)
+            bp_mi.append(nt_mi)
+            # Sync fan-out hits, minus each row's own machine; payload
+            # slices are recovered from the row buffer at phase end.
+            hmask = self._placement.replica_membership(us)
+            hit_v, hit_d = np.nonzero(hmask)
+            keep = hit_d != self._machines[nt_mi[hit_v]]
+            hit_v, hit_d = hit_v[keep], hit_d[keep]
+            if len(hit_v):
+                sync_src.append(nt_mi[hit_v])
+                sync_dst.append(hit_d)
+                sync_pos.append(buf_off + hit_v)
+            buf_off += len(rows)
+
+        # Phase-end folds (order-free totals applied once per machine).
+        if ev_les:
+            nl = np.concatenate(ev_les)
+            pv = np.concatenate(ev_p)
+            mv = np.concatenate(ev_mi)
+            total_nv = self._voff[-1]
+            dec = (np.bincount(self._lsrc[nl], minlength=total_nv)
+                   + np.bincount(self._ldst[nl], minlength=total_nv))
+            np.add.at(self._loads, (mv, pv), 1)
+            nalloc = np.bincount(mv, minlength=m)
+            # Pending TAG_EDGES events per machine, event order (rounds
+            # ascend = each machine's partition groups ascending).
+            ordm = np.argsort(mv, kind="stable")
+            mv_s = mv[ordm]
+            mseg = np.flatnonzero(np.concatenate(
+                ([True], mv_s[1:] != mv_s[:-1])))
+            mseg_end = np.concatenate((mseg[1:], [len(mv_s)]))
+            geids = self._eids[nl[ordm]]
+            pv_s = pv[ordm]
+            for s, e in zip(mseg.tolist(), mseg_end.tolist()):
+                self._pending_edges[int(mv_s[s])] = (pv_s[s:e],
+                                                     geids[s:e])
+        else:
+            dec = None
+            nalloc = np.zeros(m, dtype=np.int64)
+        for mi in mis:
+            proc = self._alloc_procs[mi]
+            proc.ops_one_hop += int(ops_acc[mi])
+            if dec is not None:
+                lo, hi = self._voff[mi], self._voff[mi + 1]
+                proc.rest_degree -= dec[lo:hi].astype(
+                    proc.rest_degree.dtype)
+                proc.unallocated -= int(nalloc[mi])
+        if bp_chunks:
+            bp_rows = np.concatenate(bp_chunks)
+            bpm = np.concatenate(bp_mi)
+            ordb = np.argsort(bpm, kind="stable")
+            bpm_s = bpm[ordb]
+            bseg = np.flatnonzero(np.concatenate(
+                ([True], bpm_s[1:] != bpm_s[:-1])))
+            bseg_end = np.concatenate((bseg[1:], [len(bpm_s)]))
+            rows_s = bp_rows[ordb]
+            for s, e in zip(bseg.tolist(), bseg_end.tolist()):
+                self._pending_bp[int(bpm_s[s])] = rows_s[s:e]
+            if sync_src:
+                s_src = np.concatenate(sync_src)
+                s_dst = np.concatenate(sync_dst)
+                s_pos = np.concatenate(sync_pos)
+                # (machine asc, destination asc); hits within a pair
+                # stay in group/row order — each pair's gathered slice
+                # is the per-process sync_out concatenation.
+                key = s_src * (self._width + 1) + s_dst
+                order2 = np.argsort(key, kind="stable")
+                gathered = bp_rows[s_pos[order2]]
+                k2 = key[order2]
+                sstarts = np.flatnonzero(np.concatenate(
+                    ([True], k2[1:] != k2[:-1])))
+                segs = _segments(gathered, sstarts)
+                seg_key = k2[sstarts]
+                seg_src = (seg_key // (self._width + 1)).tolist()
+                seg_dst = (seg_key % (self._width + 1)).tolist()
+                nseg = len(seg_src)
+                procs = self._alloc_procs
+                # Arming is uniform across the pids of one fused call,
+                # but NOT across the whole plane (threads chunks) — the
+                # probe must use a proc from this call's subset.
+                if procs[mis[0]]._outbox is None:
+                    bounds = np.append(sstarts, len(gathered))
+                    nb = ((bounds[1:] - bounds[:-1])
+                          * gathered.itemsize * 2)
+                    src_idx = seg_key // (self._width + 1)
+                    entries = [(("alloc", seg_dst[i]),
+                                (procs[seg_src[i]].pid, segs[i]))
+                               for i in range(nseg)]
+                    procs[0].cluster.deliver_segments(
+                        TAG_SYNC, entries,
+                        "alloc", self._machines[src_idx],
+                        "alloc", seg_key % (self._width + 1), nb)
+                else:
+                    si = 0
+                    while si < nseg:
+                        src_mi = seg_src[si]
+                        pairs = []
+                        while si < nseg and seg_src[si] == src_mi:
+                            pairs.append((("alloc", int(seg_dst[si])),
+                                          segs[si]))
+                            si += 1
+                        procs[src_mi].send_fanout(TAG_SYNC, pairs)
+        return out
+    # ------------------------------------------------------------------
+    # Sync merge + two-hop allocation + Drest/edge reports.
+    # ------------------------------------------------------------------
+    def _run_two_hop(self, pids) -> dict:
+        mis = sorted(self._mindex[pid[1]] for pid in pids)
+        out = {("alloc", int(self._machines[mi])): None for mi in mis}
+        g, width, m = self._g, self._width, self._m
+        member = self._member
+        rows_chunks: list = []
+        chunk_mi: list = []
+        chunk_forced: list = []
+        for mi in mis:
+            bp = self._pending_bp.pop(mi, None)
+            if bp is not None and len(bp):
+                rows_chunks.append(bp)
+                chunk_mi.append(mi)
+                chunk_forced.append(True)
+            for _, payload in self._alloc_procs[mi].receive(TAG_SYNC):
+                c = pair_array(payload)
+                if len(c):
+                    rows_chunks.append(c)
+                    chunk_mi.append(mi)
+                    chunk_forced.append(False)
+
+        merged_rows = np.empty((0, 2), dtype=np.int64)
+        merged_lv = merged_m = np.empty(0, dtype=np.int64)
+        if rows_chunks:
+            arr = (rows_chunks[0] if len(rows_chunks) == 1
+                   else np.concatenate(rows_chunks))
+            lens = np.array([len(c) for c in rows_chunks])
+            m_row = np.repeat(np.array(chunk_mi, dtype=np.int64), lens)
+            forced = np.repeat(np.array(chunk_forced, dtype=bool), lens)
+            vk = m_row * g + arr[:, 0]
+            nvk = len(self._vkeys)
+            pos = np.searchsorted(self._vkeys, vk)
+            pos_c = np.minimum(pos, max(nvk - 1, 0))
+            present = ((pos < nvk) & (self._vkeys[pos_c] == vk)) if nvk \
+                else np.zeros(len(vk), dtype=bool)
+            if present.any():
+                arr, m_row, forced = (arr[present], m_row[present],
+                                      forced[present])
+                lv = pos[present]
+                ps = arr[:, 1]
+                if int(ps.max()) >= width:
+                    raise ValueError(
+                        "fused dispatch cannot grow partition capacity; "
+                        "partition id exceeds the deployment width")
+                # First-occurrence dedup per fused (vertex, partition)
+                # (fused vertex ids are machine-disjoint).
+                occ = first_occurrence(lv * width + ps)
+                arr, lv, ps, m_row, forced = (arr[occ], lv[occ], ps[occ],
+                                              m_row[occ], forced[occ])
+                fresh = forced | ~member.test_pairs(lv, ps)
+                merged_rows = arr[fresh]
+                merged_lv, merged_m = lv[fresh], m_row[fresh]
+                member.set_pairs(merged_lv, ps[fresh])
+
+        # Two-hop allocation over the merged batch (Condition 5).
+        cand_mi = np.empty(0, dtype=np.int64)
+        cand_tgt = cand_geids = cand_mi
+        two_hop = self._alloc_procs[0].two_hop if m else False
+        ops2 = np.zeros(m, dtype=np.int64)
+        if two_hop and len(merged_rows):
+            docc = first_occurrence(merged_lv)
+            lvs_u, m_u = merged_lv[docc], merged_m[docc]
+            slot_idx, counts = adjacency_slots(self._adj_ptr, lvs_u)
+            np.add.at(ops2, m_u, counts)
+            if len(slot_idx):
+                alloc_f = self._alloc
+                les = self._adj_eid[slot_idx]
+                free = alloc_f[les] == -1
+                if free.any():
+                    lws = self._adj_other[slot_idx]
+                    lv_rep = np.repeat(lvs_u, counts)
+                    shared = member.rows_and(lv_rep[free], lws[free])
+                    has = member.mask_any(shared)
+                    if has.any():
+                        les_f = les[free][has]
+                        shared_f = shared[has]
+                        mi_f = np.repeat(m_u, counts)[free][has]
+                        occ3 = first_occurrence(les_f)
+                        cand_les = les_f[occ3]
+                        cand_shared = shared_f[occ3]
+                        cand_mi = mi_f[occ3]
+                        nshared = member.mask_count(cand_shared)
+                        tgt = np.where(
+                            nshared == 1,
+                            member.mask_single_partition(cand_shared), -1)
+                        bounds = np.searchsorted(
+                            cand_mi, np.arange(m + 1, dtype=np.int64))
+                        for mi in np.unique(
+                                cand_mi[nshared > 1]).tolist():
+                            a, b = int(bounds[mi]), int(bounds[mi + 1])
+                            multi = np.flatnonzero(nshared[a:b] > 1)
+                            self._alloc_procs[mi]._resolve_multi_shared(
+                                cand_shared[a:b], tgt[a:b], multi)
+                        np.add.at(self._loads, (cand_mi, tgt), 1)
+                        alloc_f[cand_les] = tgt.astype(alloc_f.dtype)
+                        total_nv = self._voff[-1]
+                        dec = (np.bincount(self._lsrc[cand_les],
+                                           minlength=total_nv)
+                               + np.bincount(self._ldst[cand_les],
+                                             minlength=total_nv))
+                        nalloc = np.bincount(cand_mi, minlength=m)
+                        for mi in np.unique(cand_mi).tolist():
+                            proc = self._alloc_procs[mi]
+                            lo, hi = self._voff[mi], self._voff[mi + 1]
+                            proc.rest_degree -= dec[lo:hi].astype(
+                                proc.rest_degree.dtype)
+                            proc.unallocated -= int(nalloc[mi])
+                        cand_tgt = tgt
+                        cand_geids = self._eids[cand_les]
+        th_bounds = np.searchsorted(cand_mi,
+                                    np.arange(m + 1, dtype=np.int64))
+
+        # Drest rows, unique (machine, vertex, partition) and sorted —
+        # each machine's slice is its reference np.unique(merged) walk.
+        if len(merged_rows):
+            ukeys = np.unique((merged_m * g + merged_rows[:, 0]) * width
+                              + merged_rows[:, 1])
+            u_mi = ukeys // (g * width)
+            u_v = (ukeys // width) % g
+            u_p = ukeys % width
+            u_bounds = np.searchsorted(u_mi,
+                                       np.arange(m + 1, dtype=np.int64))
+        else:
+            u_bounds = np.zeros(m + 1, dtype=np.int64)
+
+        from repro.core.allocation import TAG_BOUNDARY, TAG_EDGES
+        # Bulk inline delivery (simulated scheduler only): report
+        # buffers are collected across the machine loop and priced in
+        # one sweep per tag — per-(dst, tag) mailbox order (machine
+        # ascending, partition ascending within a machine) is exactly
+        # the per-process buffer-creation order.
+        bulk = self._alloc_procs[mis[0]]._outbox is None if mis else False
+        b_entries: list = []
+        b_src: list = []
+        b_dst: list = []
+        b_nb: list = []
+        e_entries: list = []
+        e_src: list = []
+        e_dst: list = []
+        e_nb: list = []
+        for mi in mis:
+            proc = self._alloc_procs[mi]
+            proc.ops_two_hop += int(ops2[mi])
+            a, b = int(u_bounds[mi]), int(u_bounds[mi + 1])
+            if b > a:
+                v_m, p_m = u_v[a:b], u_p[a:b]
+                local = np.searchsorted(self._vkeys, mi * g + v_m) \
+                    - self._voff[mi]
+                drest = proc.rest_degree[local]
+                keep = drest > 0
+                if keep.any():
+                    rows_out = np.empty((int(keep.sum()), 2),
+                                        dtype=np.int64)
+                    rows_out[:, 0] = v_m[keep]
+                    rows_out[:, 1] = drest[keep]
+                    ps_k = p_m[keep]
+                    pord = np.argsort(ps_k, kind="stable")
+                    ps_s = ps_k[pord]
+                    rows_s = rows_out[pord]
+                    pst = np.flatnonzero(np.concatenate(
+                        ([True], ps_s[1:] != ps_s[:-1])))
+                    if bulk:
+                        mslot = int(self._machines[mi])
+                        src_pid = proc.pid
+                        for p, seg in zip(ps_s[pst].tolist(),
+                                          _segments(rows_s, pst)):
+                            b_entries.append((("expansion", p),
+                                              (src_pid, seg)))
+                            b_src.append(mslot)
+                            b_dst.append(p)
+                            b_nb.append(seg.nbytes)
+                    else:
+                        proc.send_fanout(TAG_BOUNDARY, [
+                            (("expansion", int(p)), seg)
+                            for p, seg in zip(ps_s[pst].tolist(),
+                                              _segments(rows_s, pst))])
+            # Edge reports: one-hop events (already partition-grouped
+            # ascending) then two-hop events, stably regrouped per
+            # partition — each payload is the reference's _ep_new[p]
+            # chunk concatenation.
+            oh = self._pending_edges.pop(mi, None)
+            ta, tb = int(th_bounds[mi]), int(th_bounds[mi + 1])
+            parts = []
+            if oh is not None:
+                parts.append(oh)
+            if tb > ta:
+                parts.append((cand_tgt[ta:tb], cand_geids[ta:tb]))
+            if parts:
+                p_comb = (parts[0][0] if len(parts) == 1
+                          else np.concatenate([p for p, _ in parts]))
+                e_comb = (parts[0][1] if len(parts) == 1
+                          else np.concatenate([e for _, e in parts]))
+                eord = np.argsort(p_comb, kind="stable")
+                p_s = p_comb[eord]
+                e_s = e_comb[eord]
+                est = np.flatnonzero(np.concatenate(
+                    ([True], p_s[1:] != p_s[:-1])))
+                if bulk:
+                    mslot = int(self._machines[mi])
+                    src_pid = proc.pid
+                    for p, seg in zip(p_s[est].tolist(),
+                                      _segments(e_s, est)):
+                        e_entries.append((("expansion", p),
+                                          (src_pid, seg)))
+                        e_src.append(mslot)
+                        e_dst.append(p)
+                        e_nb.append(seg.nbytes)
+                else:
+                    proc.send_fanout(TAG_EDGES, [
+                        (("expansion", int(p)), seg)
+                        for p, seg in zip(p_s[est].tolist(),
+                                          _segments(e_s, est))])
+            proc.report_memory()
+        if b_entries:
+            cl = self._alloc_procs[mis[0]].cluster
+            cl.deliver_segments(
+                TAG_BOUNDARY, b_entries,
+                "alloc", np.array(b_src, dtype=np.int64),
+                "expansion", np.array(b_dst, dtype=np.int64),
+                np.array(b_nb, dtype=np.int64))
+        if e_entries:
+            cl = self._alloc_procs[mis[0]].cluster
+            cl.deliver_segments(
+                TAG_EDGES, e_entries,
+                "alloc", np.array(e_src, dtype=np.int64),
+                "expansion", np.array(e_dst, dtype=np.int64),
+                np.array(e_nb, dtype=np.int64))
+        return out

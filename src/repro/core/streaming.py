@@ -71,13 +71,45 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["StreamingState", "EdgeStreamScorer", "run_chunked_stream",
-           "run_chunked_fixpoint", "DEFAULT_CHUNK"]
+           "run_chunked_fixpoint", "block_tail_hints", "DEFAULT_CHUNK",
+           "TAIL_BLOCK"]
 
 #: default scoring-window width of the chunked drivers
 DEFAULT_CHUNK = 1024
 
 #: smallest bulk-commit probe / fixpoint window
 _MIN_WINDOW = 16
+
+#: tail-walker hint-block width (rows per batched tie-break)
+TAIL_BLOCK = 64
+
+
+def block_tail_hints(static_block: np.ndarray, balance: np.ndarray,
+                     subtract: bool = False) -> np.ndarray:
+    """Batched argmax hints for the sequential tail walkers.
+
+    One ``(block, |P|)`` broadcast plus a rowwise argmax replaces the
+    per-edge ``|P|``-vector combine + argmax of the tail steppers.  A
+    hint row is *exact* — bit-identical to the per-edge computation at
+    the row's turn — whenever (a) the row's hoisted static terms are
+    still fresh and (b) the hinted partition's balance entry has not
+    changed since the block snapshot, **provided** every balance update
+    between snapshot and turn only worsened the updated entry's score
+    (the walkers' invariant: a placement raises fennel's marginal
+    penalty and lowers hdrf's ``lam_cbal`` entry, and whole-vector
+    rebalances invalidate the rest of the block).  Then every other
+    partition's score is at most its snapshot value while the hinted
+    one is unchanged, so the snapshot argmax — lowest index among
+    maxima — still wins its strict-below/ties-above relations.
+
+    Elementwise ``+``/``-`` are correctly rounded float64 regardless of
+    array shape, so the broadcast rows equal the per-edge vectors
+    bit-for-bit (this would *not* hold for ``**``, which is why the
+    penalty tables are built through whole-array ufuncs).
+    """
+    if subtract:
+        return (static_block - balance[None, :]).argmax(axis=1)
+    return (static_block + balance[None, :]).argmax(axis=1)
 
 
 class StreamingState:

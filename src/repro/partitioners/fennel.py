@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.streaming import EdgeStreamScorer, StreamingState, \
-    run_chunked_stream
+from repro.core.streaming import (TAIL_BLOCK, EdgeStreamScorer,
+                                  StreamingState, block_tail_hints,
+                                  run_chunked_stream)
 from repro.graph.csr import CSRGraph
 from repro.partitioners.base import EdgePartition, StreamingEdgePartitioner
 
@@ -86,23 +87,41 @@ class _FennelScorer(EdgeStreamScorer):
         penalty = pen_table[state.loads]
         buf = np.empty_like(penalty)
         out = np.empty(stop - start, dtype=np.int64)
-        for k in range(start, stop):
-            uk = int(us[k])
-            vk = int(vs[k])
-            if uk in changed or vk in changed:
-                rows = member.rows_bool(np.array([uk, vk]))
-                aux[k] = rows[0].astype(np.float64) + rows[1].astype(np.float64)
-            np.subtract(aux[k], penalty, out=buf)
-            t = int(np.argmax(buf))
-            out[k - start] = t
-            loads[t] += 1
-            penalty[t] = pen_table[loads[t]]
-            if not member.get_bit(uk, t):
-                member.set_bit(uk, t)
-                changed.add(uk)
-            if not member.get_bit(vk, t):
-                member.set_bit(vk, t)
-                changed.add(vk)
+        # Batched tie-break: a placement only raises the placed entry's
+        # marginal penalty (gamma >= 0, convex table), so a block-start
+        # hint stays exact for fresh rows whose hinted partition was
+        # not placed into since the snapshot (see block_tail_hints).
+        hints_ok = self.gamma >= 0
+        k = start
+        while k < stop:
+            end = min(stop, k + TAIL_BLOCK)
+            if hints_ok:
+                barg = block_tail_hints(aux[k:end], penalty, subtract=True)
+            touched: set = set()
+            for k2 in range(k, end):
+                uk = int(us[k2])
+                vk = int(vs[k2])
+                fresh = uk not in changed and vk not in changed
+                if not fresh:
+                    rows = member.rows_bool(np.array([uk, vk]))
+                    aux[k2] = (rows[0].astype(np.float64)
+                               + rows[1].astype(np.float64))
+                if hints_ok and fresh and int(barg[k2 - k]) not in touched:
+                    t = int(barg[k2 - k])
+                else:
+                    np.subtract(aux[k2], penalty, out=buf)
+                    t = int(np.argmax(buf))
+                out[k2 - start] = t
+                loads[t] += 1
+                penalty[t] = pen_table[loads[t]]
+                touched.add(t)
+                if not member.get_bit(uk, t):
+                    member.set_bit(uk, t)
+                    changed.add(uk)
+                if not member.get_bit(vk, t):
+                    member.set_bit(vk, t)
+                    changed.add(vk)
+            k = end
         state.loads += np.bincount(out, minlength=state.num_partitions)
         return out
 

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.streaming import EdgeStreamScorer, StreamingState, \
-    run_chunked_stream
+from repro.core.streaming import (TAIL_BLOCK, EdgeStreamScorer,
+                                  StreamingState, block_tail_hints,
+                                  run_chunked_stream)
 from repro.graph.csr import CSRGraph
 from repro.partitioners.base import EdgePartition, StreamingEdgePartitioner
 
@@ -103,55 +104,77 @@ class _HDRFScorer(EdgeStreamScorer):
         lam_cbal = lam * ((maxload - loads) / denom)
         buf = np.empty(len(loads), dtype=np.float64)
         out = np.empty(stop - start, dtype=np.int64)
-        for k in range(start, stop):
-            uk = int(us[k])
-            vk = int(vs[k])
-            if partial:
-                degrees[uk] += 1
-                degrees[vk] += 1
-            if uk in changed or vk in changed:
+        # Batched tie-break: between max/min shifts a placement only
+        # lowers the placed entry's lam_cbal (lam >= 0), so a
+        # block-start hint stays exact for fresh rows whose hinted
+        # partition was not placed into since the snapshot; a shift
+        # rebuilds the whole vector and invalidates the block's
+        # remaining hints (see block_tail_hints).
+        hints_ok = lam >= 0
+        k = start
+        while k < stop:
+            end = min(stop, k + TAIL_BLOCK)
+            if hints_ok:
+                barg = block_tail_hints(G[k:end], lam_cbal)
+            touched: set = set()
+            invalid = False
+            for k2 in range(k, end):
+                uk = int(us[k2])
+                vk = int(vs[k2])
                 if partial:
-                    du, dv = degrees[uk], degrees[vk]
-                    total = du + dv
-                    theta_u = du / total if total else 0.5
-                    theta_v = dv / total if total else 0.5
-                    fu_k = 1.0 + (1.0 - theta_u)
-                    fv_k = 1.0 + (1.0 - theta_v)
+                    degrees[uk] += 1
+                    degrees[vk] += 1
+                fresh = uk not in changed and vk not in changed
+                if not fresh:
+                    if partial:
+                        du, dv = degrees[uk], degrees[vk]
+                        total = du + dv
+                        theta_u = du / total if total else 0.5
+                        theta_v = dv / total if total else 0.5
+                        fu_k = 1.0 + (1.0 - theta_u)
+                        fv_k = 1.0 + (1.0 - theta_v)
+                    else:
+                        fu_k, fv_k = fu[k2], fv[k2]
+                    rows = member.rows_bool(np.array([uk, vk]))
+                    G[k2] = rows[0] * fu_k + rows[1] * fv_k
+                if (hints_ok and fresh and not invalid
+                        and int(barg[k2 - k]) not in touched):
+                    t = int(barg[k2 - k])
                 else:
-                    fu_k, fv_k = fu[k], fv[k]
-                rows = member.rows_bool(np.array([uk, vk]))
-                G[k] = rows[0] * fu_k + rows[1] * fv_k
-            np.add(G[k], lam_cbal, out=buf)
-            t = int(np.argmax(buf))
-            out[k - start] = t
-            loads[t] += 1
-            lt = int(loads[t])
-            shifted = False
-            if lt > maxload:
-                maxload = lt
-                shifted = True
-            if lt - 1 == minload:
-                at_min -= 1
-                if at_min == 0:
-                    minload += 1
-                    at_min = int((loads == minload).sum())
+                    np.add(G[k2], lam_cbal, out=buf)
+                    t = int(np.argmax(buf))
+                out[k2 - start] = t
+                loads[t] += 1
+                lt = int(loads[t])
+                shifted = False
+                if lt > maxload:
+                    maxload = lt
                     shifted = True
-            if shifted:
-                denom = eps + maxload - minload
-                np.subtract(maxload, loads, out=buf, casting="unsafe")
-                buf /= denom
-                np.multiply(buf, lam, out=lam_cbal)
-            else:
-                lam_cbal[t] = lam * ((maxload - lt) / denom)
-            if not member.get_bit(uk, t):
-                member.set_bit(uk, t)
-                changed.add(uk)
-            if not member.get_bit(vk, t):
-                member.set_bit(vk, t)
-                changed.add(vk)
-            if partial:
-                changed.add(uk)
-                changed.add(vk)
+                if lt - 1 == minload:
+                    at_min -= 1
+                    if at_min == 0:
+                        minload += 1
+                        at_min = int((loads == minload).sum())
+                        shifted = True
+                if shifted:
+                    denom = eps + maxload - minload
+                    np.subtract(maxload, loads, out=buf, casting="unsafe")
+                    buf /= denom
+                    np.multiply(buf, lam, out=lam_cbal)
+                    invalid = True
+                else:
+                    lam_cbal[t] = lam * ((maxload - lt) / denom)
+                    touched.add(t)
+                if not member.get_bit(uk, t):
+                    member.set_bit(uk, t)
+                    changed.add(uk)
+                if not member.get_bit(vk, t):
+                    member.set_bit(vk, t)
+                    changed.add(vk)
+                if partial:
+                    changed.add(uk)
+                    changed.add(vk)
+            k = end
         return out
 
     def apply(self, u, v, targets):

@@ -51,11 +51,15 @@ def _run_dne(graph, partitions, kernel, backend, workers):
 
 
 #: extra keys that must be identical across backends (everything
-#: deterministic: traffic, ops, memory, protocol counters)
+#: deterministic: traffic, ops, memory, protocol counters, and the
+#: superstep ledger — empty-mailbox short-circuits are driver
+#: decisions, so executed/skipped step counts cannot depend on the
+#: backend or on fused vs per-process dispatch)
 _PINNED_EXTRA = ("cluster", "ops_one_hop", "ops_two_hop", "mem_score",
                  "membership", "model_selection_ops",
                  "model_allocation_ops", "random_seed_requests",
-                 "remote_seed_requests")
+                 "remote_seed_requests", "steps_executed",
+                 "steps_skipped")
 
 
 class TestDneBackendEquivalence:
@@ -72,6 +76,17 @@ class TestDneBackendEquivalence:
             assert res.iterations == base.iterations, backend
             for key in _PINNED_EXTRA:
                 assert res.extra[key] == base.extra[key], (backend, key)
+
+    def test_step_ledger_records_skips(self, graph):
+        """Empty-mailbox short-circuits actually fire: a real run both
+        executes and skips steps (the cross-backend agreement on the
+        exact counts is pinned via _PINNED_EXTRA above)."""
+        res = _run_dne(graph, 4, "vectorized", "simulated", None)
+        assert res.extra["steps_executed"] > 0
+        assert res.extra["steps_skipped"] > 0
+        assert res.extra["steps_executed"] == \
+            _run_dne(graph, 4, "python", "simulated", None) \
+            .extra["steps_executed"]
 
     def test_min_degree_seed_strategy_identical(self, graph, workers):
         """The min_degree seed scan — SharedSeedSource routing through

@@ -18,6 +18,9 @@ and seeds:
   matrix backend bit-for-bit across |P| ∈ {3, 64, 65, 256}, and a full
   DNE run at |P| > 64 (where the packed backend engages) stays
   bit-identical to the reference kernel;
+* fused cross-partition phase dispatch at |P| = 256 with tiny
+  per-partition batches stays bit-identical to per-process steps
+  (``fused=False``) and to the python reference;
 * the reference allocation path holds no phantom (empty) replica sets
   — the ``defaultdict`` probe leak stays fixed.
 """
@@ -257,6 +260,35 @@ class TestPackedDNEEquivalence:
         assert vec.extra["ops_one_hop"] == ref.extra["ops_one_hop"]
         assert vec.extra["ops_two_hop"] == ref.extra["ops_two_hop"]
         assert vec.extra["cluster"] == ref.extra["cluster"]
+
+
+class TestFusedDispatchEquivalence:
+    """Fused phase dispatch == per-process steps at |P| = 256 with
+    tiny batches.
+
+    A small graph spread over 256 partitions is the worst case for
+    the fused plane's segment bookkeeping: most per-partition batches
+    hold a handful of edges and most mailboxes are empty, so any
+    ordering or accounting slip between the concatenated-segment path
+    and the per-process loop shows up here first."""
+
+    def test_tiny_batches_at_256_partitions(self):
+        graph = CSRGraph(rmat_edges(8, 6, seed=3))
+        fused = DistributedNE(256, seed=0).partition(graph)
+        plain = DistributedNE(256, seed=0, fused=False).partition(graph)
+        ref = DistributedNE(256, seed=0,
+                            kernel="python").partition(graph)
+        assert fused.extra["membership"] == "packed"
+        assert np.array_equal(fused.assignment, plain.assignment)
+        assert np.array_equal(fused.assignment, ref.assignment)
+        assert fused.iterations == plain.iterations
+        for key in ("cluster", "ops_one_hop", "ops_two_hop",
+                    "mem_score", "steps_executed", "steps_skipped"):
+            assert fused.extra[key] == plain.extra[key], key
+        # The python reference has no fused plane at all; its totals
+        # still pin the fused run's accounting end to end.
+        assert fused.extra["cluster"] == ref.extra["cluster"]
+        assert fused.replication_factor() == plain.replication_factor()
 
 
 class TestEngineEquivalence:

@@ -88,6 +88,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--workers", type=int, default=None,
                         help="worker count for the threads/processes "
                              "backends (default 4)")
+    p_part.add_argument("--checkpoint-dir", default=None,
+                        help="directory for superstep-granular "
+                             "checkpoints (methods with a "
+                             "checkpoint_dir= flag: distributed_ne, "
+                             "sne)")
+    p_part.add_argument("--checkpoint-every", type=int, default=None,
+                        help="checkpoint cadence in iterations "
+                             "(distributed_ne; default 1)")
+    p_part.add_argument("--resume", action="store_true",
+                        help="resume from the newest checkpoint in "
+                             "--checkpoint-dir (bit-identical to the "
+                             "uninterrupted run)")
+    p_part.add_argument("--step-timeout", type=float, default=None,
+                        help="seconds before a worker reply counts as "
+                             "hung (requires --backend processes)")
+    p_part.add_argument("--max-retries", type=int, default=None,
+                        help="respawn-and-retry budget for failed/hung "
+                             "workers (requires --backend processes)")
     p_part.add_argument("--out", help="write result to this .npz path")
 
     p_inspect = sub.add_parser("inspect",
@@ -196,6 +214,35 @@ def _cmd_partition(args) -> int:
         kwargs["backend"] = args.backend
         if args.workers is not None:
             kwargs["workers"] = args.workers
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("error: --checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        if "checkpoint_dir" not in params:
+            print(f"error: method {args.method!r} has no checkpoint_dir= "
+                  "flag", file=sys.stderr)
+            return 2
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+        kwargs["resume"] = args.resume
+        if args.checkpoint_every is not None:
+            if "checkpoint_every" not in params:
+                print(f"error: method {args.method!r} has no "
+                      "checkpoint_every= flag", file=sys.stderr)
+                return 2
+            kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.step_timeout is not None or args.max_retries is not None:
+        if args.backend != "processes":
+            print("error: --step-timeout/--max-retries require "
+                  "--backend processes", file=sys.stderr)
+            return 2
+        if args.step_timeout is not None:
+            kwargs["step_timeout"] = args.step_timeout
+        if args.max_retries is not None:
+            kwargs["max_retries"] = args.max_retries
     result = cls(args.partitions, seed=args.seed, **kwargs).partition(graph)
     print(f"method={result.method} partitions={args.partitions}")
     if args.kernel is not None:

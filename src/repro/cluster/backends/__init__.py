@@ -16,6 +16,7 @@ from repro.cluster.backends.base import (BACKENDS, ExecutionBackend,
                                          SimulatedBackend, StepResult,
                                          WorkerStepError, apply_outbox,
                                          validate_backend)
+from repro.cluster.backends.faults import FaultPlan
 from repro.cluster.backends.processes import ProcessesBackend, WorkerProgram
 from repro.cluster.backends.shm import ShmArena, graph_from_views, \
     graph_to_arrays
@@ -23,7 +24,7 @@ from repro.cluster.backends.threads import ThreadsBackend
 
 __all__ = ["BACKENDS", "validate_backend", "create_backend",
            "ExecutionBackend", "SimulatedBackend", "ThreadsBackend",
-           "ProcessesBackend", "WorkerProgram", "StepResult",
+           "ProcessesBackend", "WorkerProgram", "FaultPlan", "StepResult",
            "WorkerStepError", "apply_outbox", "ShmArena",
            "graph_to_arrays", "graph_from_views"]
 
@@ -31,18 +32,32 @@ __all__ = ["BACKENDS", "validate_backend", "create_backend",
 DEFAULT_WORKERS = 4
 
 
-def create_backend(backend: str, workers: int | None = None
-                   ) -> ExecutionBackend:
+def create_backend(backend: str, workers: int | None = None, *,
+                   step_timeout: float | None = None,
+                   max_retries: int | None = None,
+                   fault_plan: FaultPlan | None = None) -> ExecutionBackend:
     """Instantiate a backend by name.
 
     ``workers`` is ignored by ``simulated``; the parallel backends
-    default to :data:`DEFAULT_WORKERS`.
+    default to :data:`DEFAULT_WORKERS`.  The supervision knobs —
+    ``step_timeout`` (bound every worker reply), ``max_retries``
+    (respawn-and-retry recovery), ``fault_plan`` (deterministic fault
+    injection) — exist only on the ``processes`` backend; passing them
+    for any other backend raises ``ValueError`` rather than silently
+    running unsupervised.
     """
     validate_backend(backend)
     if workers is None:
         workers = DEFAULT_WORKERS
+    supervised = (step_timeout is not None or max_retries is not None
+                  or fault_plan is not None)
+    if backend != "processes" and supervised:
+        raise ValueError(
+            "step_timeout/max_retries/fault_plan require backend='processes'")
     if backend == "simulated":
         return SimulatedBackend()
     if backend == "threads":
         return ThreadsBackend(workers)
-    return ProcessesBackend(workers)
+    return ProcessesBackend(workers, step_timeout=step_timeout,
+                            max_retries=max_retries or 0,
+                            fault_plan=fault_plan)

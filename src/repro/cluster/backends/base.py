@@ -192,6 +192,18 @@ class ExecutionBackend:
         """Invoke a no-argument method on each pid (collect phase)."""
         return {pid: getattr(self._procs[pid], method)() for pid in pids}
 
+    def apply_all(self, method: str, pid_args: dict) -> dict:
+        """Invoke ``method(*args)`` per pid with per-pid arguments.
+
+        The scatter counterpart of :meth:`call_all`: ``pid_args`` maps
+        pid -> args tuple.  Used by checkpoint resume to push saved
+        state blobs back into live processes (``restore_state``) —
+        the processes backend routes each call to the worker owning
+        the pid so shm-backed arrays are restored in place.
+        """
+        return {pid: getattr(self._procs[pid], method)(*args)
+                for pid, args in pid_args.items()}
+
     # -- whole-graph offload -------------------------------------------
     def run_graph_task(self, fn, graph, *args):
         """Run ``fn(graph, *args)`` on this backend's compute resource.

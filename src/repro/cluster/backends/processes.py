@@ -1,4 +1,4 @@
-"""Multiprocessing execution backend.
+"""Multiprocessing execution backend with worker supervision.
 
 Real OS processes run the supersteps.  The big read-only structures —
 the CSR graph arrays and the flat per-partition state — are mapped
@@ -23,16 +23,47 @@ superstep the parent
    totals, and delivery order are bit-identical to the simulated
    scheduler.
 
+Failure contract
+----------------
 A step exception travels back as a ``("step_error", pid, traceback)``
 reply — every request gets exactly one reply, so a crash surfaces as
 :class:`~repro.cluster.backends.base.WorkerStepError` naming the
 partition, never as a hang; a dead worker surfaces as ``EOFError`` on
-its pipe, repackaged the same way.
+its pipe, repackaged the same way.  ``step_timeout`` bounds every
+reply wait (``Connection.poll``), so a *hung* worker also surfaces as
+a ``WorkerStepError`` instead of blocking the parent forever.
+
+Supervision (``max_retries > 0``) upgrades those failures from fatal
+to recoverable.  Each successful step reply piggybacks a worker-state
+snapshot (per-process :meth:`~repro.cluster.runtime.Process.checkpoint_state`
+blobs, leftover worker-mailbox entries, fused-plane transients), and
+the parent retains each superstep's shipped inboxes until the step is
+acknowledged.  When a worker crashes, hangs, or raises, the parent
+kills it, respawns a fresh worker over the same shared-memory arenas,
+restores the last snapshot *in place* (so shm-backed arrays keep their
+aliases), re-ships the retained mail, and re-runs the exact same step
+list.  Steps are pure functions of their own state plus delivered
+mail, so the re-run is bit-identical to the run that failed — totals,
+assignments, and delivery order match a fault-free run exactly (pinned
+by ``tests/test_faults.py``).
+
+If retries are exhausted the superstep fails *atomically*: no outbox
+has been applied, the retained inboxes are pushed back into the parent
+cluster's delivered map, and accounting totals are untouched.  Worker-
+local state is indeterminate at that point, so the only supported
+operation on the backend afterwards is :meth:`ProcessesBackend.close`.
+
+Deterministic fault injection for tests rides the same dispatch path:
+a :class:`~repro.cluster.backends.faults.FaultPlan` is consumed
+parent-side (fire-once) and shipped with the step message, so an
+injected kill/hang/raise exercises exactly the recovery machinery a
+real fault would.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 import traceback
 
@@ -43,6 +74,11 @@ from repro.cluster.backends.shm import ShmArena, graph_from_views, \
 from repro.cluster.runtime import SimulatedCluster
 
 __all__ = ["ProcessesBackend", "WorkerProgram"]
+
+#: how long close() waits for the goodbye handshake before escalating
+_CLOSE_TIMEOUT = 10.0
+#: how long a respawned worker gets to rebuild and re-attach
+_READY_TIMEOUT = 120.0
 
 
 def _mp_context():
@@ -56,9 +92,11 @@ class WorkerProgram:
 
     Subclasses implement :meth:`build`, constructing the process
     objects for the pids this worker owns from the attached
-    shared-memory views.  Runs once per worker at startup; everything
-    it needs must either be picklable constructor state or live in an
-    arena.
+    shared-memory views.  Runs once per worker at startup (and again
+    whenever the supervisor respawns a crashed worker — the rebuild is
+    followed by an in-place state restore, so ``build`` must be safe
+    to re-run against live arenas); everything it needs must either be
+    picklable constructor state or live in an arena.
     """
 
     def build(self, owned_pids, views: dict) -> dict:
@@ -157,8 +195,58 @@ def _run_items(procs, plane, items, gather):
     return results, None
 
 
+def _snapshot_worker(procs, wcluster, plane):
+    """Everything the parent needs to rebuild this worker elsewhere.
+
+    ``(per-pid state blobs, undrained worker mailbox entries,
+    fused-plane transients)`` — exactly the state a respawned worker
+    restores before re-running a failed superstep.
+    """
+    states = {pid: proc.checkpoint_state() for pid, proc in procs.items()}
+    mail = [(key, list(msgs))
+            for key, msgs in wcluster._delivered.items() if msgs]
+    plane_state = None
+    if plane is not None and hasattr(plane, "checkpoint_state"):
+        plane_state = plane.checkpoint_state()
+    return (states, mail, plane_state)
+
+
+def _restore_worker(procs, wcluster, plane, snapshot) -> None:
+    """Inverse of :func:`_snapshot_worker`, writing arrays in place."""
+    states, mail, plane_state = snapshot
+    for pid, state in states.items():
+        procs[pid].restore_state(state)
+    wcluster._delivered.clear()
+    for key, msgs in mail:
+        wcluster._delivered[key].extend(msgs)
+    if plane is not None and plane_state is not None:
+        plane.restore_state(plane_state)
+
+
+def _inject_fault(fault, items, owned_pids, conn):
+    """Act on an injected fault directive; ``True`` = skip this step.
+
+    ``kill`` dies without a reply (the parent sees a dead pipe, same
+    as a segfault); ``hang`` and ``delay`` sleep — a hang long enough
+    to trip ``step_timeout`` is indistinguishable from a livelocked
+    worker, a short delay just reorders wall-clock without touching
+    results; ``raise`` reports a step error without running anything.
+    """
+    kind, arg = fault
+    if kind == "kill":
+        os._exit(23)
+    if kind in ("hang", "delay"):
+        time.sleep(arg)
+        return False
+    if kind == "raise":
+        pid = items[0][1] if items else owned_pids[0]
+        conn.send(("step_error", pid, f"injected fault: {arg}"))
+        return True
+    raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+
 def _worker_main(conn, program: WorkerProgram, owned_pids,
-                 arena_specs: dict) -> None:
+                 arena_specs: dict, supervise: bool) -> None:
     views = {name: ShmArena.attach(spec)
              for name, spec in arena_specs.items()}
     try:
@@ -175,19 +263,28 @@ def _worker_main(conn, program: WorkerProgram, owned_pids,
         wcluster = SimulatedCluster()
         for pid in owned_pids:
             wcluster.add_process(procs[pid])
-        conn.send(("ready", pending))
+        # Under supervision the ready handshake carries a baseline
+        # snapshot so even a superstep-1 failure has a restore point.
+        conn.send(("ready", pending,
+                   _snapshot_worker(procs, wcluster, plane)
+                   if supervise else None))
         while True:
             msg = conn.recv()
             kind = msg[0]
             if kind == "step":
-                _, items, inbox, gather = msg
+                _, items, inbox, gather, fault, snap = msg
+                if fault is not None and _inject_fault(
+                        fault, items, owned_pids, conn):
+                    continue
                 for key, delivered in inbox:
                     wcluster._delivered[key].extend(delivered)
                 results, failure = _run_items(procs, plane, items, gather)
                 if failure is not None:
                     conn.send(("step_error", failure[0], failure[1]))
                 else:
-                    conn.send(("step_ok", results))
+                    conn.send(("step_ok", results,
+                               _snapshot_worker(procs, wcluster, plane)
+                               if snap else None))
             elif kind == "gather":
                 _, requests = msg
                 conn.send(("ok", {
@@ -200,6 +297,19 @@ def _worker_main(conn, program: WorkerProgram, owned_pids,
                                       for pid, method in requests}))
                 except Exception:  # noqa: BLE001 - shipped to parent
                     conn.send(("call_error", traceback.format_exc()))
+            elif kind == "apply":
+                _, requests = msg
+                try:
+                    conn.send(("ok", {
+                        pid: getattr(procs[pid], method)(*args)
+                        for pid, method, args in requests}))
+                except Exception:  # noqa: BLE001 - shipped to parent
+                    conn.send(("call_error", traceback.format_exc()))
+            elif kind == "snapshot":
+                conn.send(("ok", _snapshot_worker(procs, wcluster, plane)))
+            elif kind == "restore":
+                _restore_worker(procs, wcluster, plane, msg[1])
+                conn.send(("ok", None))
             elif kind == "close":
                 conn.send(("ok", None))
                 return
@@ -209,9 +319,18 @@ def _worker_main(conn, program: WorkerProgram, owned_pids,
         conn.close()
 
 
-def _graph_task_worker(conn, fn, arena_spec, args) -> None:
+def _graph_task_worker(conn, fn, arena_spec, args, fault) -> None:
     arena = ShmArena.attach(arena_spec)
     try:
+        if fault is not None:
+            kind, arg = fault
+            if kind == "kill":
+                os._exit(23)
+            elif kind in ("hang", "delay"):
+                time.sleep(arg)
+            elif kind == "raise":
+                conn.send(("error", f"injected fault: {arg}"))
+                return
         graph = graph_from_views(arena)
         try:
             conn.send(("ok", fn(graph, *args)))
@@ -223,20 +342,41 @@ def _graph_task_worker(conn, fn, arena_spec, args) -> None:
 
 
 class ProcessesBackend(ExecutionBackend):
-    """Superstep scheduler over persistent worker processes."""
+    """Superstep scheduler over persistent, supervised worker processes.
+
+    ``step_timeout`` (seconds) bounds every worker reply; ``None``
+    waits forever (the pre-supervision behaviour).  ``max_retries``
+    enables respawn-and-retry recovery: a failed worker is rebuilt
+    from its last snapshot up to ``max_retries`` times per request
+    before the failure becomes terminal.  ``fault_plan`` is a
+    :class:`~repro.cluster.backends.faults.FaultPlan` for
+    deterministic fault injection in tests.
+    """
 
     name = "processes"
 
-    def __init__(self, workers: int = 4):
+    def __init__(self, workers: int = 4, step_timeout: float | None = None,
+                 max_retries: int = 0, fault_plan=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if step_timeout is not None and step_timeout <= 0:
+            raise ValueError("step_timeout must be positive or None")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.workers = workers
+        self.step_timeout = step_timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
         self._ctx = _mp_context()
         self._procs_mp: list = []
         self._conns: list = []
         self._arenas: dict = {}
         self._worker_of: dict = {}
         self._started = False
+        self._superstep = 0
+        self._snapshots: list = []
+        #: workers respawned after a crash/hang/raise (observability)
+        self.respawns = 0
 
     # ------------------------------------------------------------------
     def start(self, cluster, program: WorkerProgram, pid_to_worker: dict,
@@ -251,24 +391,25 @@ class ProcessesBackend(ExecutionBackend):
         self.cluster = cluster
         self.steps_executed = 0
         self.steps_skipped = 0
+        self._superstep = 0
+        self.respawns = 0
         self._arenas = dict(arenas)
+        self._program = program
         nworkers = self.workers
         self._worker_of = {pid: w % nworkers
                            for pid, w in pid_to_worker.items()}
         owned = [[] for _ in range(nworkers)]
         for pid, w in self._worker_of.items():
             owned[w].append(pid)
-        specs = {name: arena.spec() for name, arena in self._arenas.items()}
+        self._owned = owned
+        self._specs = {name: arena.spec()
+                       for name, arena in self._arenas.items()}
+        self._snapshots = [None] * nworkers
+        supervise = self.max_retries > 0
         for w in range(nworkers):
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(child_conn, program, owned[w], specs),
-                daemon=True, name=f"repro-backend-{w}")
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn_worker(w, supervise)
             self._procs_mp.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
         self._started = True
         # Ready handshake: forward constructor-time resident reports to
         # the parent accountant (per-pid, so application order across
@@ -279,6 +420,18 @@ class ProcessesBackend(ExecutionBackend):
                 stats = cluster.stats.stats_for(pid)
                 for name, nbytes in resident.items():
                     stats.set_resident(name, nbytes)
+            self._snapshots[w] = reply[2]
+
+    def _spawn_worker(self, w: int, supervise: bool):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._program, self._owned[w], self._specs,
+                  supervise),
+            daemon=True, name=f"repro-backend-{w}")
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
 
     def _send_to(self, w: int, msg) -> None:
         # A worker killed between supersteps (OOM, segfault) surfaces
@@ -291,25 +444,77 @@ class ProcessesBackend(ExecutionBackend):
             raise WorkerStepError(
                 f"worker-{w}", f"worker process died: {exc!r}") from exc
 
-    def _recv(self, w: int):
+    def _recv(self, w: int, timeout: float | None = None):
+        conn = self._conns[w]
+        if timeout is not None and not conn.poll(timeout):
+            raise WorkerStepError(
+                f"worker-{w}", f"step timed out after {timeout:g}s")
         try:
-            reply = self._conns[w].recv()
+            reply = conn.recv()
         except (EOFError, OSError) as exc:
             raise WorkerStepError(
                 f"worker-{w}", f"worker process died: {exc!r}") from exc
         return reply
 
     # ------------------------------------------------------------------
+    def _kill_worker(self, w: int) -> None:
+        """Force worker ``w`` down: terminate, escalate to SIGKILL."""
+        proc = self._procs_mp[w]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            proc.kill()
+            proc.join(timeout=5)
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _respawn(self, w: int) -> None:
+        """Replace a failed worker and restore its last snapshot.
+
+        The replacement rebuilds from the WorkerProgram over the same
+        arenas (which may reset shm-backed arrays to constructor-time
+        values), then the snapshot restore rewrites every process's
+        mutable state *in place* — safe because the parent is
+        sequential across supersteps, so no sibling reads shared state
+        while this worker is mid-restore.
+        """
+        snapshot = self._snapshots[w]
+        assert snapshot is not None, "respawn without a snapshot"
+        self._kill_worker(w)
+        proc, conn = self._spawn_worker(w, supervise=True)
+        self._procs_mp[w] = proc
+        self._conns[w] = conn
+        # Fresh ready handshake: the rebuilt constructors re-report
+        # residents and a new baseline snapshot; both are discarded —
+        # the accountant already holds the run's totals and the real
+        # restore point is the retained snapshot.
+        self._recv(w, timeout=_READY_TIMEOUT)
+        self._send_to(w, ("restore", snapshot))
+        reply = self._recv(w, timeout=_READY_TIMEOUT)
+        if reply[0] != "ok":  # pragma: no cover - restore never raises
+            raise WorkerStepError(f"worker-{w}",
+                                  f"restore failed: {reply!r}")
+        self.respawns += 1
+
+    # ------------------------------------------------------------------
     def run_superstep(self, steps, gather=()) -> dict:
         assert self._started, "backend not started"
         self._count_steps(steps)
+        self._superstep += 1
+        supervise = self.max_retries > 0
         nworkers = len(self._conns)
         per_worker = [[] for _ in range(nworkers)]
         for idx, (pid, method, args) in enumerate(steps):
             per_worker[self._worker_of[pid]].append((idx, pid, method, args))
         # Ship every owned pid's freshly-delivered mail along with the
         # step list (exactly the payload buffers the last barrier
-        # priced; ownership transfers to the worker mailbox).
+        # priced).  The parent *retains* each worker's inbox until the
+        # step is acknowledged: a retried step gets the identical mail
+        # re-shipped, and a terminal failure pushes it back into the
+        # cluster so the delivered map is well-defined afterwards.
         inboxes = [[] for _ in range(nworkers)]
         delivered = self.cluster._delivered
         for key in list(delivered.keys()):
@@ -317,18 +522,62 @@ class ProcessesBackend(ExecutionBackend):
             if w is not None:
                 inboxes[w].append((key, delivered.pop(key)))
         gather = tuple(gather)
+        plan = self.fault_plan
+        failures: dict = {}
         for w in range(nworkers):
-            self._send_to(w, ("step", per_worker[w], inboxes[w], gather))
+            fault = plan.take(w, self._superstep) if plan is not None else None
+            try:
+                self._send_to(w, ("step", per_worker[w], inboxes[w], gather,
+                                  fault, supervise))
+            except WorkerStepError as exc:
+                failures[w] = exc
+        # Collect ALL replies before any recovery: siblings must not be
+        # left with queued replies while one worker is being respawned.
+        replies: dict = {}
+        for w in range(nworkers):
+            if w in failures:
+                continue
+            try:
+                reply = self._recv(w, timeout=self.step_timeout)
+            except WorkerStepError as exc:
+                failures[w] = exc
+                continue
+            if reply[0] == "step_error":
+                failures[w] = WorkerStepError(reply[1], reply[2])
+            else:
+                replies[w] = reply
+        for w in sorted(failures):
+            error = failures.pop(w)
+            for _ in range(self.max_retries):
+                try:
+                    self._respawn(w)
+                    self._send_to(w, ("step", per_worker[w], inboxes[w],
+                                      gather, None, True))
+                    reply = self._recv(w, timeout=self.step_timeout)
+                except WorkerStepError as exc:
+                    error = exc
+                    continue
+                if reply[0] == "step_error":
+                    error = WorkerStepError(reply[1], reply[2])
+                    continue
+                replies[w] = reply
+                error = None
+                break
+            if error is not None:
+                # Terminal failure: the superstep fails atomically.  No
+                # outbox has been applied (accounting totals untouched)
+                # and every retained inbox returns to the delivered map.
+                # Worker-local state is indeterminate — only close() is
+                # supported on this backend afterwards.
+                for inbox in inboxes:
+                    for key, payload in inbox:
+                        delivered[key].extend(payload)
+                raise error
         results = []
-        failure = None
-        for w in range(nworkers):
-            reply = self._recv(w)
-            if reply[0] == "step_error" and failure is None:
-                failure = (reply[1], reply[2])
-            elif reply[0] == "step_ok":
-                results.extend(reply[1])
-        if failure is not None:
-            raise WorkerStepError(failure[0], failure[1])
+        for w, reply in replies.items():
+            results.extend(reply[1])
+            if supervise and reply[2] is not None:
+                self._snapshots[w] = reply[2]
         # Merge outboxes in global step-list order: the exact call
         # sequence the simulated scheduler would have made.
         results.sort(key=lambda item: item[0])
@@ -339,18 +588,34 @@ class ProcessesBackend(ExecutionBackend):
         return out
 
     # ------------------------------------------------------------------
+    def _exchange(self, w: int, msg):
+        """One request/reply with a worker, with supervised recovery.
+
+        Used by the read-only out-of-phase paths (gather / call /
+        apply): a crashed or hung worker is respawned from its last
+        snapshot and the request re-sent.  These requests don't mutate
+        step state, so the retry is trivially equivalent.
+        """
+        try:
+            self._send_to(w, msg)
+            return self._recv(w, timeout=self.step_timeout)
+        except WorkerStepError:
+            if self.max_retries < 1 or self._snapshots[w] is None:
+                raise
+            self._respawn(w)
+            self._send_to(w, msg)
+            return self._recv(w, timeout=self.step_timeout)
+
     def gather(self, pids, attrs) -> dict:
         attrs = tuple(attrs)
         nworkers = len(self._conns)
         per_worker = [[] for _ in range(nworkers)]
         for pid in pids:
             per_worker[self._worker_of[pid]].append((pid, attrs))
-        active = [w for w in range(nworkers) if per_worker[w]]
-        for w in active:
-            self._send_to(w, ("gather", per_worker[w]))
         out = {}
-        for w in active:
-            out.update(self._recv(w)[1])
+        for w in range(nworkers):
+            if per_worker[w]:
+                out.update(self._exchange(w, ("gather", per_worker[w]))[1])
         return out
 
     def call_all(self, pids, method: str) -> dict:
@@ -358,30 +623,65 @@ class ProcessesBackend(ExecutionBackend):
         per_worker = [[] for _ in range(nworkers)]
         for pid in pids:
             per_worker[self._worker_of[pid]].append((pid, method))
-        active = [w for w in range(nworkers) if per_worker[w]]
-        for w in active:
-            self._send_to(w, ("call", per_worker[w]))
         out = {}
-        for w in active:
-            reply = self._recv(w)
+        for w in range(nworkers):
+            if not per_worker[w]:
+                continue
+            reply = self._exchange(w, ("call", per_worker[w]))
             if reply[0] == "call_error":
                 raise WorkerStepError(f"worker-{w}", reply[1])
             out.update(reply[1])
         return out
 
+    def apply_all(self, method: str, pid_args: dict) -> dict:
+        nworkers = len(self._conns)
+        per_worker = [[] for _ in range(nworkers)]
+        for pid, args in pid_args.items():
+            per_worker[self._worker_of[pid]].append((pid, method, args))
+        active = [w for w in range(nworkers) if per_worker[w]]
+        out = {}
+        for w in active:
+            reply = self._exchange(w, ("apply", per_worker[w]))
+            if reply[0] == "call_error":
+                raise WorkerStepError(f"worker-{w}", reply[1])
+            out.update(reply[1])
+        # A scatter mutates worker state by definition, so any retained
+        # respawn baselines are stale — refresh them (e.g. right after
+        # a checkpoint resume pours restored state into the workers).
+        if self.max_retries > 0:
+            for w in active:
+                self._snapshots[w] = self._exchange(w, ("snapshot",))[1]
+        return out
+
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Tear everything down; can never wedge.
+
+        The goodbye handshake is polled with a timeout (a hung or dead
+        worker simply doesn't answer), joins are bounded, and a worker
+        that survives ``terminate()`` is ``kill()``-ed.  Arenas are
+        closed *and unlinked* regardless of worker health, so no
+        ``/dev/shm`` segment outlives the backend — pinned by the leak
+        tests in ``tests/test_faults.py``.
+        """
         for conn in self._conns:
             try:
                 conn.send(("close",))
-                conn.recv()
+                if conn.poll(_CLOSE_TIMEOUT):
+                    conn.recv()
             except (EOFError, OSError, BrokenPipeError):
                 pass
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         for proc in self._procs_mp:
-            proc.join(timeout=10)
+            proc.join(timeout=_CLOSE_TIMEOUT)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
                 proc.join(timeout=5)
         self._conns = []
         self._procs_mp = []
@@ -389,20 +689,49 @@ class ProcessesBackend(ExecutionBackend):
             arena.close()
             arena.unlink()
         self._arenas = {}
+        self._snapshots = []
         self._started = False
 
     # ------------------------------------------------------------------
     def run_graph_task(self, fn, graph, *args):
-        """One-shot offload: graph via shared memory, result via pipe."""
+        """One-shot offload: graph via shared memory, result via pipe.
+
+        The task is a pure module-level function of picklable
+        arguments, so under supervision a crashed/hung/raising task
+        worker is simply re-run (up to ``max_retries`` extra attempts)
+        — the retry is bit-identical by construction.  This is the
+        recovery path SNE exercises (its bounded stream runs as one
+        graph task rather than a Process/barrier ensemble).
+        """
         arena = ShmArena.create(graph_to_arrays(graph))
+        try:
+            plan = self.fault_plan
+            error = None
+            for attempt in range(self.max_retries + 1):
+                fault = (plan.take_task(attempt)
+                         if plan is not None else None)
+                try:
+                    return self._run_graph_task_once(fn, arena, args, fault)
+                except WorkerStepError as exc:
+                    error = exc
+            raise error
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def _run_graph_task_once(self, fn, arena, args, fault):
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_graph_task_worker,
-            args=(child_conn, fn, arena.spec(), args),
+            args=(child_conn, fn, arena.spec(), args, fault),
             daemon=True, name="repro-graph-task")
         proc.start()
         child_conn.close()
         try:
+            timeout = self.step_timeout
+            if timeout is not None and not parent_conn.poll(timeout):
+                raise WorkerStepError(
+                    "graph-task", f"step timed out after {timeout:g}s")
             try:
                 reply = parent_conn.recv()
             except (EOFError, OSError) as exc:
@@ -413,9 +742,12 @@ class ProcessesBackend(ExecutionBackend):
             return reply[1]
         finally:
             parent_conn.close()
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - stuck worker
+            # Short grace for a clean exit, then escalate: a hung task
+            # worker must not stall the parent for the close timeout.
+            proc.join(timeout=1)
+            if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5)
-            arena.close()
-            arena.unlink()
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=5)

@@ -19,7 +19,11 @@ totals and delivery order are bit-identical (pinned by
 A step that raises surfaces as
 :class:`~repro.cluster.backends.base.WorkerStepError` with the
 partition id after the whole superstep has been awaited (no orphan
-threads mid-superstep, no hang).
+threads mid-superstep, no hang).  Threads share the parent's fate, so
+the supervision knobs of the processes backend (``step_timeout`` /
+``max_retries`` / fault injection) don't exist here — a wedged or
+crashed thread is a wedged or crashed parent, and recovery is the
+driver-level checkpoint/resume path instead.
 """
 
 from __future__ import annotations

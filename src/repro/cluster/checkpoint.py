@@ -1,0 +1,111 @@
+"""On-disk superstep checkpoints for long partitioning runs.
+
+A :class:`CheckpointStore` owns a directory of snapshot files, one per
+checkpointed barrier boundary.  Each snapshot is a single pickle
+holding everything a driver needs to re-enter its loop bit-for-bit:
+the per-process state blobs (flat per-partition arrays, boundary
+queues, RNG state — see ``Process.checkpoint_state``), the cluster's
+accounting totals, the backend's superstep ledger, and the driver's
+own loop variables, plus a ``meta`` dict the resuming run validates
+against its own configuration (graph shape, seed, kernel, |P|).
+
+Writes are atomic (temp file + ``os.replace``) so a run killed
+mid-checkpoint leaves the previous snapshot intact, and the store
+prunes to the ``keep`` most recent snapshots so an N-thousand-barrier
+run does not fill the disk.
+
+Snapshots are pickles: load them only from directories you wrote.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+
+__all__ = ["CheckpointStore", "CheckpointMismatch"]
+
+_FILE_RE = re.compile(r"^ckpt-(\d{8})\.pkl$")
+
+
+class CheckpointMismatch(RuntimeError):
+    """A resume was attempted against an incompatible checkpoint.
+
+    Raised when the snapshot's ``meta`` disagrees with the resuming
+    run's configuration — resuming a 64-partition run as 4 partitions,
+    against a different graph, or under a different kernel would
+    silently produce garbage, so the mismatch fails loudly with both
+    sides of the disagreement.
+    """
+
+    def __init__(self, mismatches: dict):
+        lines = ", ".join(f"{key}: checkpoint={a!r} run={b!r}"
+                          for key, (a, b) in sorted(mismatches.items()))
+        super().__init__(f"checkpoint does not match this run ({lines})")
+        self.mismatches = mismatches
+
+
+class CheckpointStore:
+    """Directory of atomic, pruned, step-numbered snapshot pickles."""
+
+    def __init__(self, root: str, keep: int = 2):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.root = str(root)
+        self.keep = keep
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, step: int) -> str:
+        return os.path.join(self.root, f"ckpt-{step:08d}.pkl")
+
+    def steps(self) -> list:
+        """Snapshot step numbers present on disk, ascending."""
+        out = []
+        for name in os.listdir(self.root):
+            match = _FILE_RE.match(name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    def save(self, step: int, payload: dict) -> str:
+        """Write the snapshot for ``step`` atomically; prune old ones."""
+        path = self._path(step)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        for old in self.steps()[:-self.keep]:
+            try:
+                os.remove(self._path(old))
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                pass
+        return path
+
+    def load(self, step: int) -> dict:
+        with open(self._path(step), "rb") as fh:
+            return pickle.load(fh)
+
+    def load_latest(self) -> dict | None:
+        """The most recent snapshot, or ``None`` when the store is empty."""
+        steps = self.steps()
+        if not steps:
+            return None
+        return self.load(steps[-1])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_meta(snapshot: dict, expected: dict) -> None:
+        """Validate a snapshot's ``meta`` against the resuming run.
+
+        Every key in ``expected`` must be present and equal in the
+        snapshot's meta; any disagreement raises
+        :class:`CheckpointMismatch` naming all mismatched keys.
+        """
+        meta = snapshot.get("meta", {})
+        mismatches = {key: (meta.get(key), value)
+                      for key, value in expected.items()
+                      if meta.get(key) != value}
+        if mismatches:
+            raise CheckpointMismatch(mismatches)

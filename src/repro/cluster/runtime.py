@@ -69,6 +69,7 @@ mailbox order, and memory peaks cannot diverge.
 
 from __future__ import annotations
 
+import copy
 from collections import defaultdict
 
 import numpy as np
@@ -76,7 +77,46 @@ import numpy as np
 from repro.cluster.accounting import (ClusterStats, payload_nbytes,
                                       record_rpc_pair)
 
-__all__ = ["Process", "SimulatedCluster", "pair_array"]
+__all__ = ["Process", "SimulatedCluster", "pair_array", "restore_attr"]
+
+
+def restore_attr(obj, name: str, value) -> None:
+    """Restore one attribute from a state snapshot, in place when it
+    matters.
+
+    The rule that makes checkpoint/restore safe under the fused
+    dispatch plane and the shared-memory arenas: several per-process
+    arrays (``alloc``, ``_part_loads``, membership matrices, the
+    processes backend's ``rest_degree``) are *views* into larger fused
+    or shared segments, so restoring them must write through the
+    existing buffer — rebinding the attribute would silently detach
+    the process from its siblings.  Hence:
+
+    * matching ndarray (same shape + dtype) -> element-wise copy into
+      the existing buffer;
+    * matching plain object (same class, same ``__dict__`` keys) ->
+      recurse per attribute, so e.g. a membership wrapper's matrix is
+      restored through the fused view while its scalars rebind;
+    * anything else -> rebind.
+    """
+    current = getattr(obj, name, None)
+    if (isinstance(current, np.ndarray) and isinstance(value, np.ndarray)
+            and current.shape == value.shape
+            and current.dtype == value.dtype):
+        current[...] = value
+        return
+    if (current is not None and value is not None
+            and type(current) is type(value)
+            and not isinstance(value, (np.ndarray, list, tuple, dict, set,
+                                       frozenset, str, bytes, int, float,
+                                       bool))
+            and getattr(current, "__dict__", None) is not None
+            and getattr(value, "__dict__", None) is not None
+            and current.__dict__.keys() == value.__dict__.keys()):
+        for key, val in value.__dict__.items():
+            restore_attr(current, key, val)
+        return
+    setattr(obj, name, value)
 
 
 def pair_array(payload) -> np.ndarray:
@@ -103,6 +143,13 @@ class Process:
     deployment uses pairs like ``("expansion", 3)``.
     """
 
+    #: attributes excluded from state snapshots: cluster wiring, the
+    #: outbox hook, and (in subclasses) shared read-only structures —
+    #: graph CSR views, placements, seed sources, derived immutable
+    #: index arrays.  Everything else is per-run mutable state and
+    #: rides checkpoint_state()/restore_state().
+    _STATE_EXCLUDE: frozenset = frozenset({"cluster", "_outbox"})
+
     def __init__(self, pid):
         self.pid = pid
         self.cluster: SimulatedCluster | None = None
@@ -113,6 +160,34 @@ class Process:
         #: instead of applied — the parent replays outboxes in
         #: deterministic step order (see repro.cluster.backends).
         self._outbox: list | None = None
+
+    # -- checkpoint / restore ------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Deep snapshot of this process's mutable state.
+
+        Picklable and self-contained (shared-memory and fused-array
+        views are copied out), so the blob can travel over a worker
+        pipe, live in a supervisor's retry cache, or be written to a
+        :class:`~repro.cluster.checkpoint.CheckpointStore`.  Restoring
+        it with :meth:`restore_state` — on this object or on a freshly
+        rebuilt twin — reproduces the state bit-for-bit; step purity
+        (own state + delivered mail only) then makes every re-executed
+        step bit-identical.
+        """
+        return copy.deepcopy({key: value
+                              for key, value in self.__dict__.items()
+                              if key not in self._STATE_EXCLUDE})
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` snapshot.
+
+        Arrays are written *through* existing buffers where shapes
+        match (see :func:`restore_attr`) so shared-memory views stay
+        shared and fused-plane views stay fused; the caller's blob is
+        deep-copied first and never aliased.
+        """
+        for name, value in copy.deepcopy(state).items():
+            restore_attr(self, name, value)
 
     # -- wiring --------------------------------------------------------
     def _attach(self, cluster: "SimulatedCluster") -> None:

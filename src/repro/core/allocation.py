@@ -312,6 +312,14 @@ class PackedMembership:
 class AllocationProcess(Process):
     """One allocation process holding a 2D-hash slice of the graph."""
 
+    #: checkpoint/restore excludes: the shared CSR graph and placement,
+    #: plus the local index structures derived once in the constructor
+    #: (immutable for the life of the process, rebuilt identically by a
+    #: respawned worker) — everything else is mutable allocation state.
+    _STATE_EXCLUDE = Process._STATE_EXCLUDE | frozenset({
+        "graph", "placement", "eids", "local_vertices", "_lsrc", "_ldst",
+        "_vindex", "_adj_ptr", "_adj_eid", "_adj_other"})
+
     def __init__(self, machine: int, graph: CSRGraph, edge_ids: np.ndarray,
                  placement, two_hop: bool = True,
                  kernel: str = "vectorized", membership: str = "auto"):

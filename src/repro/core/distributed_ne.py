@@ -54,6 +54,7 @@ from repro.cluster.backends import (ProcessesBackend, WorkerProgram,
                                     create_backend, graph_to_arrays,
                                     validate_backend)
 from repro.cluster.backends.shm import ShmArena, graph_from_views
+from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.runtime import Process, SimulatedCluster
 from repro.core.allocation import (TAG_BOUNDARY, TAG_EDGES, TAG_SELECT,
                                    TAG_SYNC, AllocationProcess,
@@ -230,6 +231,37 @@ class DistributedNE(Partitioner):
         per-process dispatch on assignments, counters, message
         traffic, and memory totals (pinned by the kernel-equivalence
         and backend tests); ``fused=False`` forces per-process steps.
+    checkpoint_dir:
+        Directory for superstep-granular checkpoints (any backend).
+        At every ``checkpoint_every``-th iteration boundary — a point
+        where all mailboxes are provably empty — the driver snapshots
+        every process's mutable state, the accounting totals, the
+        superstep ledger, and its own loop variables to an atomic
+        on-disk store (:class:`~repro.cluster.checkpoint.CheckpointStore`).
+    checkpoint_every:
+        Checkpoint cadence in iterations (default 1).
+    resume:
+        Restart from the newest snapshot in ``checkpoint_dir`` (fresh
+        start when the store is empty).  The snapshot's ``meta`` must
+        match this run's configuration (graph shape, seed, kernel,
+        |P|, ...) or the resume fails loudly; a resumed run is
+        bit-identical to the uninterrupted one (pinned by
+        ``tests/test_faults.py``).  Resuming on a *different backend*
+        than the one that wrote the snapshot is supported — state
+        blobs are backend-neutral.
+    step_timeout:
+        (``backend="processes"`` only) seconds to wait for any worker
+        reply before surfacing a
+        :class:`~repro.cluster.backends.base.WorkerStepError`; ``None``
+        waits forever.
+    max_retries:
+        (``backend="processes"`` only) respawn-and-retry budget per
+        superstep: failed/hung workers are rebuilt from their last
+        snapshot and the step re-run, recovering bit-identically.
+    fault_plan:
+        (``backend="processes"`` only) a
+        :class:`~repro.cluster.backends.faults.FaultPlan` injecting
+        deterministic worker faults — the test harness for the above.
     """
 
     name = "distributed_ne"
@@ -243,7 +275,13 @@ class DistributedNE(Partitioner):
                  kernel: str = "vectorized",
                  backend: str = "simulated",
                  workers: int | None = None,
-                 fused: bool | None = None):
+                 fused: bool | None = None,
+                 checkpoint_dir: str | None = None,
+                 checkpoint_every: int = 1,
+                 resume: bool = False,
+                 step_timeout: float | None = None,
+                 max_retries: int = 0,
+                 fault_plan=None):
         super().__init__(num_partitions, seed)
         if alpha < 1.0:
             raise ValueError("imbalance factor alpha must be >= 1.0")
@@ -268,6 +306,20 @@ class DistributedNE(Partitioner):
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.fused = fused
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        if backend != "processes" and (step_timeout is not None or max_retries
+                                       or fault_plan is not None):
+            raise ValueError("step_timeout/max_retries/fault_plan require "
+                             "backend='processes'")
+        self.step_timeout = step_timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
 
     def _use_fused(self) -> bool:
         """Fused dispatch applies only to the vectorized kernel."""
@@ -301,7 +353,25 @@ class DistributedNE(Partitioner):
         eids_by_home = np.argsort(homes, kind="stable").astype(np.int64)
         eids_ptr = np.zeros(p + 1, dtype=np.int64)
         np.cumsum(np.bincount(homes, minlength=p), out=eids_ptr[1:])
-        backend = create_backend(self.backend, self.workers)
+        # Checkpoint identity: everything that must agree before a
+        # snapshot's state blobs can be poured back into this run.
+        # The backend is deliberately absent — blobs are backend-
+        # neutral, so a processes-backend run may resume simulated.
+        meta = {"partitioner": self.name, "p": p, "seed": self.seed,
+                "kernel": self.kernel, "placement": self.placement_kind,
+                "alpha": self.alpha, "lam": self.lam,
+                "two_hop": self.two_hop,
+                "seed_strategy": self.seed_strategy,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges}
+        store = (CheckpointStore(self.checkpoint_dir)
+                 if self.checkpoint_dir is not None else None)
+        resume_snapshot = store.load_latest() if self.resume else None
+        backend = create_backend(
+            self.backend, self.workers,
+            step_timeout=self.step_timeout,
+            max_retries=self.max_retries or None,
+            fault_plan=self.fault_plan)
         try:
             if isinstance(backend, ProcessesBackend):
                 self._start_processes(backend, cluster, graph, placement,
@@ -356,6 +426,31 @@ class DistributedNE(Partitioner):
             # emit nothing and report nothing, keeping totals identical.
             delivered = cluster._delivered
             finished_prev = dict.fromkeys(exp_pids, False)
+            if resume_snapshot is not None:
+                CheckpointStore.check_meta(resume_snapshot, meta)
+                # Pour the saved per-process state back through the
+                # backend (in-place for shm-backed arrays), swap in the
+                # saved accounting, and re-enter the loop exactly where
+                # the snapshot left it.  Checkpoints are cut at
+                # iteration boundaries, so every mailbox is empty.
+                backend.apply_all(
+                    "restore_state",
+                    {pid: (state,)
+                     for pid, state in resume_snapshot["procs"].items()})
+                cluster.stats = resume_snapshot["stats"]
+                backend.steps_executed, backend.steps_skipped = \
+                    resume_snapshot["ledger"]
+                loop = resume_snapshot["loop"]
+                iterations = resume_snapshot["iteration"]
+                prev_sel_ops = loop["prev_sel_ops"]
+                prev_alloc_ops = loop["prev_alloc_ops"]
+                finished_prev = loop["finished_prev"]
+                allocation_seconds = loop["allocation_seconds"]
+                parallel_selection = loop["parallel_selection"]
+                parallel_allocation = loop["parallel_allocation"]
+                model_selection = loop["model_selection"]
+                model_allocation = loop["model_allocation"]
+                history = list(loop["history"])
             while True:
                 iterations += 1
                 # Step 1: selection + multicast (a finished process's
@@ -441,7 +536,35 @@ class DistributedNE(Partitioner):
                 if sent == 0 and all(term[pid].gathered["finished"]
                                      for pid in exp_pids):
                     break  # capped tail: leftovers handled by the sweep
-                if self.max_iterations and iterations >= self.max_iterations:
+                hit_valve = bool(self.max_iterations
+                                 and iterations >= self.max_iterations)
+                if store is not None and (
+                        hit_valve
+                        or iterations % self.checkpoint_every == 0):
+                    # Iteration boundary: mailboxes empty, fused-plane
+                    # transients drained — the whole run is exactly the
+                    # per-process state plus these loop variables.
+                    store.save(iterations, {
+                        "meta": meta,
+                        "iteration": iterations,
+                        "procs": backend.call_all(alloc_pids + exp_pids,
+                                                  "checkpoint_state"),
+                        "stats": cluster.stats,
+                        "ledger": (backend.steps_executed,
+                                   backend.steps_skipped),
+                        "loop": {
+                            "prev_sel_ops": prev_sel_ops,
+                            "prev_alloc_ops": prev_alloc_ops,
+                            "finished_prev": finished_prev,
+                            "allocation_seconds": allocation_seconds,
+                            "parallel_selection": parallel_selection,
+                            "parallel_allocation": parallel_allocation,
+                            "model_selection": model_selection,
+                            "model_allocation": model_allocation,
+                            "history": history,
+                        },
+                    })
+                if hit_valve:
                     break
 
             collected = backend.call_all(exp_pids, "collected_edge_ids")

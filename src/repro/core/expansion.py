@@ -244,6 +244,13 @@ class BoundaryQueue:
 class ExpansionProcess(Process):
     """Drives the expansion of one partition."""
 
+    #: checkpoint/restore excludes: the shared placement and the
+    #: injected seed source (backend-specific wiring, not state) —
+    #: boundary queue, RNG, collected edges and counters all ride the
+    #: snapshot.
+    _STATE_EXCLUDE = Process._STATE_EXCLUDE | frozenset({
+        "placement", "seed_source"})
+
     def __init__(self, partition: int, num_partitions: int,
                  limit: int, total_edges: int, lam: float,
                  seed: int, placement, seed_strategy: str = "random",

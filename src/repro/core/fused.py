@@ -48,6 +48,7 @@ kernel only — the reference kernel keeps its per-process steps.
 
 from __future__ import annotations
 
+import copy
 import time
 
 import numpy as np
@@ -180,6 +181,24 @@ class FusedDnePlane:
         #: one-hop outputs awaiting two_hop_and_report, per machine idx
         self._pending_bp = {}
         self._pending_edges = {}
+
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Snapshot the plane's cross-superstep transients.
+
+        The fused mutable arrays are views over the attached processes'
+        state and ride *their* snapshots; the only state the plane owns
+        is the one-hop output parked between the one-hop and two-hop
+        supersteps.  Worker supervision captures this alongside the
+        per-process blobs so a worker respawned between those two
+        supersteps replays two-hop on identical inputs.
+        """
+        return {"pending_bp": copy.deepcopy(self._pending_bp),
+                "pending_edges": copy.deepcopy(self._pending_edges)}
+
+    def restore_state(self, state: dict) -> None:
+        self._pending_bp = copy.deepcopy(state["pending_bp"])
+        self._pending_edges = copy.deepcopy(state["pending_edges"])
 
     # ------------------------------------------------------------------
     def run(self, method: str, pids) -> dict:

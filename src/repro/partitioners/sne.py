@@ -33,6 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.backends import create_backend, validate_backend
+from repro.cluster.checkpoint import CheckpointStore
 from repro.graph.csr import CSRGraph
 from repro.kernels import validate_kernel
 from repro.partitioners.base import EdgePartition, Partitioner
@@ -42,13 +43,17 @@ __all__ = ["SNEPartitioner"]
 
 
 def _run_sne_stream(graph: CSRGraph, p: int, seed: int, alpha: float,
-                    buffer_factor: float, shuffle: bool, kernel: str
+                    buffer_factor: float, shuffle: bool, kernel: str,
+                    checkpoint_dir: str | None = None, resume: bool = False
                     ) -> tuple[np.ndarray, dict]:
     """One full SNE stream run; pure function of (graph, parameters).
 
     Module-level and fully deterministic so every execution backend —
     inline, worker thread, or shared-memory worker process — computes
-    the identical ``(assignment, extra)``.
+    the identical ``(assignment, extra)``.  With ``checkpoint_dir``
+    the run snapshots its whole streaming state at every partition
+    boundary; ``resume`` restarts from the newest snapshot and is
+    bit-identical to the uninterrupted run.
     """
     rng = np.random.default_rng(seed)
 
@@ -84,7 +89,46 @@ def _run_sne_stream(graph: CSRGraph, p: int, seed: int, alpha: float,
     state.unallocated = graph.num_edges
     buffered = refill(0)
 
-    for pid in range(p):
+    meta = {"partitioner": "sne", "p": p, "seed": seed, "alpha": alpha,
+            "buffer_factor": buffer_factor, "shuffle": shuffle,
+            "kernel": kernel, "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges}
+    store = (CheckpointStore(checkpoint_dir)
+             if checkpoint_dir is not None else None)
+    start_pid = 0
+    snapshot = store.load_latest() if (store is not None and resume) else None
+    if snapshot is not None:
+        CheckpointStore.check_meta(snapshot, meta)
+        # Overwrite the freshly-built streaming state in place (the
+        # ``allowed`` mask is shared between ``state`` and ``refill``,
+        # so it must keep its identity).  Coverage/boundary need no
+        # restore: snapshots are cut at partition boundaries, where
+        # ``begin_partition`` wipes them anyway.
+        rng.bit_generator.state = snapshot["rng_state"]
+        state.assignment[:] = snapshot["assignment"]
+        state.rest_degree[:] = snapshot["rest_degree"]
+        state.unallocated = snapshot["unallocated"]
+        state._probe_order[:] = snapshot["probe_order"]
+        state._probe_pos = snapshot["probe_pos"]
+        allowed[:] = snapshot["allowed"]
+        stream_pos = snapshot["stream_pos"]
+        buffered = snapshot["buffered"]
+        start_pid = snapshot["next_pid"]
+
+    for pid in range(start_pid, p):
+        if store is not None:
+            store.save(pid, {
+                "meta": meta, "next_pid": pid,
+                "rng_state": rng.bit_generator.state,
+                "assignment": state.assignment.copy(),
+                "rest_degree": state.rest_degree.copy(),
+                "unallocated": state.unallocated,
+                "probe_order": state._probe_order.copy(),
+                "probe_pos": state._probe_pos,
+                "allowed": allowed.copy(),
+                "stream_pos": stream_pos,
+                "buffered": buffered,
+            })
         if state.unallocated == 0:
             break
         state.begin_partition()
@@ -123,7 +167,10 @@ class SNEPartitioner(Partitioner):
     def __init__(self, num_partitions: int, seed: int = 0,
                  alpha: float = 1.1, buffer_factor: float = 16.0,
                  shuffle: bool = True, kernel: str = "vectorized",
-                 backend: str = "simulated", workers: int | None = None):
+                 backend: str = "simulated", workers: int | None = None,
+                 checkpoint_dir: str | None = None, resume: bool = False,
+                 step_timeout: float | None = None, max_retries: int = 0,
+                 fault_plan=None):
         super().__init__(num_partitions, seed)
         if buffer_factor <= 0:
             raise ValueError("buffer_factor must be positive")
@@ -135,14 +182,30 @@ class SNEPartitioner(Partitioner):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        if backend != "processes" and (step_timeout is not None or max_retries
+                                       or fault_plan is not None):
+            raise ValueError("step_timeout/max_retries/fault_plan require "
+                             "backend='processes'")
+        self.step_timeout = step_timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:
         args = (self.num_partitions, self.seed, self.alpha,
-                self.buffer_factor, self.shuffle, self.kernel)
+                self.buffer_factor, self.shuffle, self.kernel,
+                self.checkpoint_dir, self.resume)
         if self.backend == "simulated":
             assignment, extra = _run_sne_stream(graph, *args)
         else:
-            backend = create_backend(self.backend, self.workers)
+            backend = create_backend(
+                self.backend, self.workers,
+                step_timeout=self.step_timeout,
+                max_retries=self.max_retries or None,
+                fault_plan=self.fault_plan)
             try:
                 assignment, extra = backend.run_graph_task(
                     _run_sne_stream, graph, *args)

@@ -1,0 +1,471 @@
+"""Fault-tolerance pins: supervision, checkpoint/resume, fault injection.
+
+The headline invariant of the fault-tolerant execution plane: a run
+that suffers injected worker crashes/hangs/step errors *and recovers*
+(``max_retries > 0`` on the processes backend) must be bit-identical —
+assignments and every message/byte/barrier/memory total — to the
+fault-free run; and a checkpointed run killed mid-flight and resumed
+must be bit-identical to the uninterrupted one.  Both are pinned here
+for DNE and SNE.
+
+Also covered: the documented terminal-failure state (retained inboxes
+pushed back into the parent's delivered map, accounting untouched),
+the ``step_timeout`` hung-worker contract, leak-free ``/dev/shm``
+teardown on every failure path, and the :class:`FaultPlan` /
+:class:`CheckpointStore` units.
+
+Run with ``--workers N`` (root conftest option; default 2, the CI
+chaos job runs 4).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.backends import (FaultPlan, ProcessesBackend,
+                                    WorkerProgram, WorkerStepError,
+                                    create_backend)
+from repro.cluster.checkpoint import CheckpointMismatch, CheckpointStore
+from repro.cluster.runtime import Process, SimulatedCluster
+from repro.core.distributed_ne import DistributedNE
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.partitioners.sne import SNEPartitioner
+
+#: extra keys that must survive recovery bit-for-bit (mirrors the
+#: backend-equivalence pins: everything deterministic)
+_PINNED_EXTRA = ("cluster", "ops_one_hop", "ops_two_hop", "mem_score",
+                 "membership", "model_selection_ops",
+                 "model_allocation_ops", "random_seed_requests",
+                 "remote_seed_requests", "steps_executed",
+                 "steps_skipped")
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return CSRGraph(rmat_edges(9, 6, seed=42))
+
+
+@pytest.fixture
+def workers(request) -> int:
+    return request.config.getoption("--workers")
+
+
+@pytest.fixture(scope="module")
+def base4(graph):
+    return DistributedNE(4, seed=0).partition(graph)
+
+
+@pytest.fixture(scope="module")
+def base64(graph):
+    return DistributedNE(64, seed=0).partition(graph)
+
+
+def _assert_identical(res, base):
+    assert np.array_equal(res.assignment, base.assignment)
+    assert res.iterations == base.iterations
+    for key in _PINNED_EXTRA:
+        assert res.extra[key] == base.extra[key], key
+
+
+def _shm_segments() -> set:
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+_HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+# ----------------------------------------------------------------------
+# Recovery equivalence: injected faults + respawn-and-retry
+# ----------------------------------------------------------------------
+class TestRecoveryEquivalence:
+    def test_kill_recovers_bit_identical(self, graph, workers, base4):
+        """A worker hard-killed mid-run (os._exit, no cleanup) is
+        respawned from its snapshot and the superstep re-run — final
+        result indistinguishable from the fault-free run."""
+        plan = FaultPlan().kill(0, 2).kill(min(1, workers - 1), 7)
+        res = DistributedNE(4, seed=0, backend="processes",
+                            workers=workers, step_timeout=60,
+                            max_retries=2, fault_plan=plan).partition(graph)
+        _assert_identical(res, base4)
+        assert not plan.pending()
+
+    def test_hang_recovers_bit_identical(self, graph, workers, base4):
+        """A hung worker trips step_timeout, is killed and respawned;
+        the re-run is bit-identical."""
+        plan = FaultPlan().hang(0, 3)  # sleeps far beyond the timeout
+        res = DistributedNE(4, seed=0, backend="processes",
+                            workers=workers, step_timeout=2,
+                            max_retries=1, fault_plan=plan).partition(graph)
+        _assert_identical(res, base4)
+        assert not plan.pending()
+
+    def test_raise_recovers_bit_identical_python_kernel(self, graph,
+                                                        workers):
+        """An injected step exception recovers the same way, and the
+        machinery is kernel-agnostic (python reference kernel)."""
+        base = DistributedNE(4, seed=0, kernel="python").partition(graph)
+        plan = FaultPlan().raise_error(0, 4, "injected boom")
+        res = DistributedNE(4, seed=0, kernel="python",
+                            backend="processes", workers=workers,
+                            step_timeout=60, max_retries=1,
+                            fault_plan=plan).partition(graph)
+        _assert_identical(res, base)
+        assert not plan.pending()
+
+    def test_kill_recovers_wide_cluster(self, graph, workers, base64):
+        """|P| = 64: recovery across the packed-membership width, with
+        many pids per worker riding one snapshot."""
+        plan = FaultPlan().kill(workers - 1, 5)
+        res = DistributedNE(64, seed=0, backend="processes",
+                            workers=workers, step_timeout=60,
+                            max_retries=1, fault_plan=plan).partition(graph)
+        _assert_identical(res, base64)
+        assert not plan.pending()
+
+    def test_seeded_delays_are_result_neutral(self, graph, workers, base4):
+        """Seeded scheduling jitter (delays on every worker/superstep
+        pair) must not change any pinned total."""
+        plan = FaultPlan().seeded_delays(workers, supersteps=15,
+                                         max_seconds=0.02, seed=7)
+        res = DistributedNE(4, seed=0, backend="processes",
+                            workers=workers, step_timeout=60,
+                            max_retries=1, fault_plan=plan).partition(graph)
+        _assert_identical(res, base4)
+
+    def test_sne_task_kill_retries_bit_identical(self, graph, workers):
+        """SNE's whole-graph offload worker killed on attempt 0 is
+        retried; the pure re-run matches the simulated result."""
+        base = SNEPartitioner(4, seed=3).partition(graph)
+        plan = FaultPlan().task_kill(0)
+        res = SNEPartitioner(4, seed=3, backend="processes",
+                             workers=workers, step_timeout=60,
+                             max_retries=1, fault_plan=plan).partition(graph)
+        assert np.array_equal(res.assignment, base.assignment)
+        assert res.extra["state_bytes"] == base.extra["state_bytes"]
+        assert not plan.pending()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_truncated_then_resumed_matches_uninterrupted(self, graph,
+                                                          tmp_path, base4):
+        """Stop a checkpointing run at the max_iterations valve, resume
+        it, and get the uninterrupted run bit-for-bit."""
+        ckpt = str(tmp_path / "ckpt")
+        trunc = DistributedNE(4, seed=0, max_iterations=3,
+                              checkpoint_dir=ckpt).partition(graph)
+        assert trunc.iterations == 3
+        res = DistributedNE(4, seed=0, checkpoint_dir=ckpt,
+                            resume=True).partition(graph)
+        _assert_identical(res, base4)
+
+    def test_crashed_processes_run_resumes_bit_identical(self, graph,
+                                                         workers, tmp_path,
+                                                         base4):
+        """The full story: a checkpointing processes-backend run is
+        killed mid-flight by an unrecovered fault (max_retries=0), then
+        resumed from disk — result identical to never having crashed."""
+        ckpt = str(tmp_path / "ckpt")
+        plan = FaultPlan().kill(0, 12)
+        with pytest.raises(WorkerStepError):
+            DistributedNE(4, seed=0, backend="processes", workers=workers,
+                          step_timeout=60, fault_plan=plan,
+                          checkpoint_dir=ckpt).partition(graph)
+        res = DistributedNE(4, seed=0, backend="processes", workers=workers,
+                            checkpoint_dir=ckpt, resume=True).partition(graph)
+        _assert_identical(res, base4)
+
+    def test_resume_across_backends(self, graph, workers, tmp_path, base4):
+        """State blobs are backend-neutral: checkpoint under the
+        processes backend, resume on the simulated scheduler."""
+        ckpt = str(tmp_path / "ckpt")
+        DistributedNE(4, seed=0, max_iterations=4, backend="processes",
+                      workers=workers, checkpoint_dir=ckpt).partition(graph)
+        res = DistributedNE(4, seed=0, checkpoint_dir=ckpt,
+                            resume=True).partition(graph)
+        _assert_identical(res, base4)
+
+    def test_resume_with_history(self, graph, tmp_path):
+        """The per-iteration trace survives a checkpoint boundary."""
+        ckpt = str(tmp_path / "ckpt")
+        base = DistributedNE(4, seed=0, collect_history=True).partition(graph)
+        DistributedNE(4, seed=0, max_iterations=3, collect_history=True,
+                      checkpoint_dir=ckpt).partition(graph)
+        res = DistributedNE(4, seed=0, collect_history=True,
+                            checkpoint_dir=ckpt, resume=True).partition(graph)
+        assert res.extra["history"] == base.extra["history"]
+
+    def test_resume_meta_mismatch_fails_loudly(self, graph, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        DistributedNE(4, seed=0, max_iterations=2,
+                      checkpoint_dir=ckpt).partition(graph)
+        with pytest.raises(CheckpointMismatch, match="seed"):
+            DistributedNE(4, seed=1, checkpoint_dir=ckpt,
+                          resume=True).partition(graph)
+
+    def test_resume_empty_store_is_fresh_start(self, graph, tmp_path, base4):
+        res = DistributedNE(4, seed=0, checkpoint_dir=str(tmp_path / "empty"),
+                            resume=True).partition(graph)
+        _assert_identical(res, base4)
+
+    def test_sne_resume_bit_identical(self, graph, tmp_path):
+        """SNE snapshots at partition boundaries; resuming replays the
+        remaining stream identically."""
+        ckpt = str(tmp_path / "ckpt")
+        base = SNEPartitioner(6, seed=3).partition(graph)
+        first = SNEPartitioner(6, seed=3, checkpoint_dir=ckpt).partition(graph)
+        assert np.array_equal(first.assignment, base.assignment)
+        res = SNEPartitioner(6, seed=3, checkpoint_dir=ckpt,
+                             resume=True).partition(graph)
+        assert np.array_equal(res.assignment, base.assignment)
+        assert res.extra["state_bytes"] == base.extra["state_bytes"]
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            DistributedNE(4, resume=True)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            SNEPartitioner(4, resume=True)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            DistributedNE(4, checkpoint_every=0)
+
+
+# ----------------------------------------------------------------------
+# Supervision protocol, low level
+# ----------------------------------------------------------------------
+class _PingProcess(Process):
+    """Minimal mail-exchanging process for protocol tests."""
+
+    def send_step(self):
+        role, k = self.pid
+        self.send(("ping", 1 - k), "ping", [("hello", k)])
+        return k
+
+    def recv_step(self):
+        return len(self.receive("ping"))
+
+
+class _SleepProcess(Process):
+    def slow_step(self):
+        time.sleep(5)
+        return "done"
+
+
+class _PingProgram(WorkerProgram):
+    def build(self, owned_pids, views):
+        return {pid: _PingProcess(pid) for pid in owned_pids}
+
+
+class _SleepProgram(WorkerProgram):
+    def build(self, owned_pids, views):
+        return {pid: _SleepProcess(pid) for pid in owned_pids}
+
+
+def _start_pair(backend):
+    cluster = SimulatedCluster()
+    pids = [("ping", 0), ("ping", 1)]
+    for pid in pids:
+        cluster.add_process(Process(pid))
+    backend.start(cluster, _PingProgram(), {pid: k for k, pid in
+                                            enumerate(pids)}, {})
+    return cluster, pids
+
+
+class TestSupervisionProtocol:
+    def test_step_timeout_surfaces_as_worker_step_error(self):
+        """Satellite: a hung worker must not hang the parent — the
+        reply wait is bounded and the failure names the worker."""
+        cluster = SimulatedCluster()
+        pid = ("ping", 0)
+        cluster.add_process(Process(pid))
+        backend = ProcessesBackend(1, step_timeout=0.5)
+        backend.start(cluster, _SleepProgram(), {pid: 0}, {})
+        try:
+            with pytest.raises(WorkerStepError,
+                               match=r"timed out after 0\.5s"):
+                backend.run_superstep([(pid, "slow_step", ())])
+        finally:
+            backend.close()
+        assert not backend._procs_mp
+
+    def test_retry_preserves_mail_and_counts_respawns(self):
+        """A killed worker's retained inbox is re-shipped on retry: the
+        re-run step sees the same mail and the result is complete."""
+        plan = FaultPlan().kill(0, 2)
+        backend = ProcessesBackend(2, step_timeout=30, max_retries=1,
+                                   fault_plan=plan)
+        cluster, pids = _start_pair(backend)
+        try:
+            backend.run_superstep([(pid, "send_step", ()) for pid in pids])
+            cluster.barrier()
+            out = backend.run_superstep(
+                [(pid, "recv_step", ()) for pid in pids])
+            assert {pid: out[pid].value for pid in pids} == \
+                {pids[0]: 1, pids[1]: 1}
+            assert backend.respawns == 1
+            assert not plan.pending()
+        finally:
+            backend.close()
+
+    def test_terminal_failure_restores_delivered_mail(self):
+        """Documented atomic-superstep state: when retries are
+        exhausted (here: none), every retained inbox returns to the
+        parent's delivered map and accounting is untouched."""
+        plan = FaultPlan().kill(0, 2)
+        backend = ProcessesBackend(2, step_timeout=30, fault_plan=plan)
+        cluster, pids = _start_pair(backend)
+        try:
+            backend.run_superstep([(pid, "send_step", ()) for pid in pids])
+            cluster.barrier()
+            stats_before = cluster.stats.summary()
+            with pytest.raises(WorkerStepError, match="worker process died"):
+                backend.run_superstep(
+                    [(pid, "recv_step", ()) for pid in pids])
+            for pid in pids:
+                assert cluster._delivered[(pid, "ping")], pid
+            assert cluster.stats.summary() == stats_before
+        finally:
+            backend.close()
+
+    def test_supervision_kwargs_require_processes_backend(self):
+        with pytest.raises(ValueError, match="processes"):
+            DistributedNE(4, backend="threads", step_timeout=1.0)
+        with pytest.raises(ValueError, match="processes"):
+            DistributedNE(4, max_retries=1)
+        with pytest.raises(ValueError, match="processes"):
+            SNEPartitioner(4, backend="simulated", fault_plan=FaultPlan())
+        with pytest.raises(ValueError, match="processes"):
+            create_backend("threads", 2, fault_plan=FaultPlan())
+        with pytest.raises(ValueError):
+            ProcessesBackend(2, step_timeout=0)
+        with pytest.raises(ValueError):
+            ProcessesBackend(2, max_retries=-1)
+
+
+# ----------------------------------------------------------------------
+# /dev/shm leak pins
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not _HAS_DEV_SHM, reason="no /dev/shm on this platform")
+class TestShmLeaks:
+    def test_no_leak_after_normal_close(self, graph, workers):
+        before = _shm_segments()
+        DistributedNE(4, seed=0, backend="processes",
+                      workers=workers).partition(graph)
+        assert _shm_segments() - before == set()
+
+    def test_no_leak_after_injected_kill_without_retry(self, graph,
+                                                       workers):
+        before = _shm_segments()
+        plan = FaultPlan().kill(0, 2)
+        with pytest.raises(WorkerStepError):
+            DistributedNE(4, seed=0, backend="processes", workers=workers,
+                          step_timeout=60,
+                          fault_plan=plan).partition(graph)
+        assert _shm_segments() - before == set()
+
+    def test_no_leak_after_step_error(self, graph, workers):
+        before = _shm_segments()
+        plan = FaultPlan().raise_error(0, 3, "injected boom")
+        with pytest.raises(WorkerStepError, match="injected boom"):
+            DistributedNE(4, seed=0, backend="processes", workers=workers,
+                          step_timeout=60,
+                          fault_plan=plan).partition(graph)
+        assert _shm_segments() - before == set()
+
+    def test_no_leak_after_recovered_run(self, graph, workers):
+        before = _shm_segments()
+        plan = FaultPlan().kill(0, 2)
+        DistributedNE(4, seed=0, backend="processes", workers=workers,
+                      step_timeout=60, max_retries=1,
+                      fault_plan=plan).partition(graph)
+        assert _shm_segments() - before == set()
+
+    def test_no_leak_after_sne_task_kill(self, graph, workers):
+        before = _shm_segments()
+        plan = FaultPlan().task_kill(0)
+        with pytest.raises(WorkerStepError):
+            SNEPartitioner(4, seed=3, backend="processes", workers=workers,
+                           step_timeout=60,
+                           fault_plan=plan).partition(graph)
+        assert _shm_segments() - before == set()
+
+
+# ----------------------------------------------------------------------
+# FaultPlan unit
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_events_fire_once(self):
+        plan = FaultPlan().kill(1, 4)
+        assert plan.take(1, 4) == ("kill", None)
+        assert plan.take(1, 4) is None
+        assert plan.fired == [(1, 4, "kill", None)]
+        assert len(plan) == 0
+
+    def test_duplicate_events_rejected(self):
+        plan = FaultPlan().kill(1, 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.hang(1, 4)
+        plan.task_kill(0)
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.task_raise(0)
+
+    def test_pending_lists_unfired(self):
+        plan = FaultPlan().kill(0, 1).delay(1, 2, 0.5).task_kill(3)
+        assert len(plan) == 3
+        plan.take(0, 1)
+        pending = plan.pending()
+        assert (1, 2, "delay", 0.5) in pending
+        assert ("task", 3, "kill", None) in pending
+        assert len(pending) == 2
+
+    def test_task_axis_independent(self):
+        plan = FaultPlan().task_raise(1, "later")
+        assert plan.take_task(0) is None
+        assert plan.take_task(1) == ("raise", "later")
+        assert plan.fired == [("task", 1, "raise", "later")]
+
+    def test_seeded_delays_deterministic(self):
+        a = FaultPlan().seeded_delays(2, 3, 0.5, seed=9)
+        b = FaultPlan().seeded_delays(2, 3, 0.5, seed=9)
+        assert a.pending() == b.pending()
+        assert len(a) == 6
+
+
+# ----------------------------------------------------------------------
+# CheckpointStore unit
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_save_load_prune(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=2)
+        for step in (1, 2, 3):
+            store.save(step, {"step": step})
+        assert store.steps() == [2, 3]
+        assert store.load(3) == {"step": 3}
+        assert store.load_latest() == {"step": 3}
+        # No stray temp files from the atomic write.
+        assert all(not name.endswith(".tmp")
+                   for name in os.listdir(str(tmp_path)))
+
+    def test_empty_store(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.steps() == []
+        assert store.load_latest() is None
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path), keep=0)
+
+    def test_check_meta(self):
+        snap = {"meta": {"p": 4, "seed": 0}}
+        CheckpointStore.check_meta(snap, {"p": 4, "seed": 0})
+        with pytest.raises(CheckpointMismatch) as excinfo:
+            CheckpointStore.check_meta(snap, {"p": 8, "seed": 0})
+        assert excinfo.value.mismatches == {"p": (4, 8)}

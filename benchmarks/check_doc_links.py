@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail if any relative markdown link in README/docs is broken.
+
+Scans ``README.md``, ``docs/*.md``, and the other top-level markdown
+files for ``[text](target)`` links and checks every *relative* target
+resolves to a real file or directory in the checkout.  Skipped, by
+design:
+
+* absolute URLs (``http://``, ``https://``, ``mailto:``);
+* pure in-page anchors (``#section``);
+* targets that resolve *outside* the repository root — the README's
+  CI badge links ``../../actions/...``, which is a GitHub URL path,
+  not a checkout path.
+
+Anchors on relative links (``FILE.md#section``) are checked for the
+file part only.  Stdlib-only so the lint job can run it without the
+scientific stack.  Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+#: [text](target) with no nested brackets; images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks — links inside them are examples, not links
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _markdown_files(root: str) -> list[str]:
+    files = sorted(glob.glob(os.path.join(root, "*.md")))
+    files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    return files
+
+
+def check(root: str) -> list[str]:
+    root = os.path.realpath(root)
+    broken: list[str] = []
+    for md in _markdown_files(root):
+        with open(md, encoding="utf-8") as fh:
+            text = _FENCE.sub("", fh.read())
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.realpath(
+                os.path.join(os.path.dirname(md), path))
+            if not resolved.startswith(root + os.sep):
+                continue  # escapes the checkout (e.g. badge URL paths)
+            if not os.path.exists(resolved):
+                broken.append(f"{os.path.relpath(md, root)}: "
+                              f"[{target}] -> {os.path.relpath(resolved, root)}"
+                              " (missing)")
+    return broken
+
+
+def main() -> int:
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir)
+    broken = check(root)
+    for line in broken:
+        print(f"BROKEN {line}")
+    checked = len(_markdown_files(os.path.realpath(root)))
+    print(f"checked {checked} markdown files: "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,17 @@ speedups it claims and future PRs can track regressions:
 * ``all_gather_sum`` — the simulated cluster's collective accounting
   (bulk updates vs the O(P²) per-message loop);
 * ``csr_build`` — CSR construction (counting-sort bucketing vs the
-  full 2m argsort).
+  full 2m argsort);
+* ``serving_lookup`` — the partition-serving read path
+  (:mod:`repro.serving`), benchmarked like production: the dual-kernel
+  bulk vertex-lookup over a run store's mmap'd replica CSR
+  (``python_seconds`` / ``vectorized_seconds`` time the per-vertex
+  slice loop vs the single :func:`~repro.graph.csr.adjacency_slots`
+  gather), plus a concurrent HTTP phase — ``serving_concurrency``
+  keep-alive clients hammering the live asyncio server with bulk
+  lookups — recording sustained ``http_lookups_per_sec``, the
+  ``http_p99_ms`` tail latency, and ``http_errors`` (non-200
+  responses, which the serving CI job pins to zero).
 
 Run via ``repro bench perf`` (see ``--help`` for scales/partitions) or
 programmatically through :func:`run_perf`.  The smoke test
@@ -85,7 +95,8 @@ __all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
            "bench_two_hop_conflict", "bench_selection_phase",
            "bench_dne_end_to_end", "bench_streaming_partitioner",
            "bench_sheep_order", "bench_ne_expand", "bench_engine_gathers",
-           "bench_all_gather_sum", "bench_csr_build"]
+           "bench_all_gather_sum", "bench_csr_build",
+           "bench_serving_lookup"]
 
 #: RMAT edge factor used by every perf graph.
 _EDGE_FACTOR = 8
@@ -431,6 +442,120 @@ def bench_csr_build(edges: np.ndarray, kernel: str, rounds: int = 3) -> float:
 
 
 # ----------------------------------------------------------------------
+# Partition-serving read path (run store + async HTTP layer)
+# ----------------------------------------------------------------------
+def _serving_http_hammer(port: int, run_id: int, query_batches,
+                         concurrency: int) -> dict:
+    """Hammer a live server with concurrent keep-alive bulk lookups.
+
+    ``query_batches`` is one list of vertex-id batches per client
+    thread; every batch becomes one ``POST /api/runs/<id>/lookup``.
+    Returns sustained throughput and tail latency over the whole run.
+    """
+    import http.client
+    import threading
+
+    per_client_latencies = [[] for _ in range(concurrency)]
+    per_client_errors = [0] * concurrency
+
+    def client(idx: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port)
+        for ids in query_batches[idx]:
+            body = json.dumps({"vertices": ids}).encode("utf-8")
+            t0 = time.perf_counter()
+            conn.request("POST", f"/api/runs/{run_id}/lookup", body=body,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            resp.read()
+            per_client_latencies[idx].append(time.perf_counter() - t0)
+            if resp.status != 200:
+                per_client_errors[idx] += 1
+        conn.close()
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    latencies = np.concatenate(
+        [np.asarray(lat) for lat in per_client_latencies if lat])
+    total_lookups = sum(len(ids) for batches in query_batches
+                        for ids in batches)
+    return {
+        "http_concurrency": concurrency,
+        "http_requests": int(latencies.size),
+        "http_bulk": len(query_batches[0][0]) if query_batches[0] else 0,
+        "http_lookups_per_sec": round(total_lookups / wall, 1),
+        "http_p99_ms": round(
+            float(np.percentile(latencies, 99)) * 1000, 3),
+        "http_p50_ms": round(
+            float(np.percentile(latencies, 50)) * 1000, 3),
+        "http_errors": int(sum(per_client_errors)),
+    }
+
+
+def bench_serving_lookup(graph: CSRGraph, partitions: int, *,
+                         rounds: int = 8, batch: int = 8192,
+                         concurrency: int = 8,
+                         requests_per_client: int = 64, bulk: int = 64,
+                         seed: int = 0
+                         ) -> tuple[float, float, dict]:
+    """Serving read path: bulk-lookup kernels + concurrent HTTP load.
+
+    Builds a throwaway run store (one DBH run over ``graph``), then:
+
+    1. times ``rounds`` bulk vertex lookups of ``batch`` ids through
+       each kernel (identical query stream, mmap warm) — the returned
+       ``(t_python, t_vectorized)``;
+    2. starts the real asyncio server on an ephemeral port and drives
+       ``concurrency`` keep-alive clients × ``requests_per_client``
+       bulk-``bulk`` lookups through it, returning the throughput /
+       p99 dict of :func:`_serving_http_hammer`.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serving import (BackgroundServer, LookupService, RunStore,
+                               ServingAPI)
+
+    tmp = tempfile.mkdtemp(prefix="repro-serving-bench-")
+    store = RunStore(os.path.join(tmp, "runs.sqlite"))
+    try:
+        part = PARTITIONER_REGISTRY["dbh"](partitions,
+                                           seed=seed).partition(graph)
+        run_id = store.add_run(part, seed=seed, label="bench")
+        service = LookupService(store)
+        rng = np.random.default_rng(seed)
+        queries = rng.integers(0, graph.num_vertices,
+                               size=(rounds, batch))
+        service.bulk_vertex_lookup(run_id, queries[0])  # warm the mmaps
+
+        timings = {}
+        for kernel in ("python", "vectorized"):
+            t0 = time.perf_counter()
+            for ids in queries:
+                service.bulk_vertex_lookup(run_id, ids, kernel=kernel)
+            timings[kernel] = time.perf_counter() - t0
+
+        query_batches = [
+            [rng.integers(0, graph.num_vertices, size=bulk).tolist()
+             for _ in range(requests_per_client)]
+            for _ in range(concurrency)]
+        api = ServingAPI(store, lookup=service)
+        with BackgroundServer(api) as server:
+            http_stats = _serving_http_hammer(
+                server.port, run_id, query_batches, concurrency)
+        return timings["python"], timings["vectorized"], http_stats
+    finally:
+        store.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def _row(name: str, edge_scale: int, graph: CSRGraph | None,
@@ -455,6 +580,9 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
              backends=("threads", "processes"),
              backend_workers: int = 4,
              backend_scales=(18,),
+             serving_concurrency: int = 8,
+             serving_requests: int = 64,
+             serving_bulk: int = 64,
              out: str | None = "BENCH_kernels.json",
              seed: int = 0) -> dict:
     """Time every kernel pair at each scale; optionally write JSON.
@@ -478,6 +606,13 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
     ``backends`` to skip.  The recorded wall clock is whatever the host
     delivers — on a single-core container the parallel backends lose
     to the inline scheduler and the rows say so.
+
+    The ``serving_lookup`` row (once, at the largest edge scale) times
+    the partition-serving read path: the dual-kernel bulk vertex
+    lookup, plus ``serving_concurrency`` concurrent HTTP clients ×
+    ``serving_requests`` keep-alive bulk-``serving_bulk`` lookups
+    against the live asyncio server (sustained lookups/sec, p99
+    latency, and the non-200 count in the row's ``http_*`` fields).
 
     Returns the result document: ``{"meta": ..., "kernels": [rows]}``
     with one row per (kernel, scale) holding both kernels' seconds and
@@ -560,6 +695,18 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
                      bench_all_gather_sum(partitions, "python"),
                      bench_all_gather_sum(partitions, "vectorized")))
 
+    # Partition-serving read path, once at the largest kernel scale.
+    serving_scale = max(edge_scales)
+    serving_graph = bench_graph(serving_scale, seed=seed)
+    t_py, t_vec, http_stats = bench_serving_lookup(
+        serving_graph, partitions, concurrency=serving_concurrency,
+        requests_per_client=serving_requests, bulk=serving_bulk,
+        seed=seed)
+    row = _row("serving_lookup", serving_scale, serving_graph, t_py,
+               t_vec)
+    row.update(http_stats)
+    rows.append(row)
+
     # Execution-backend rows: full vectorized DNE, simulated scheduler
     # vs real parallel workers.
     for edge_scale in (backend_scales if backends else ()):
@@ -597,6 +744,9 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
             "backends": list(backends),
             "backend_workers": backend_workers,
             "backend_scales": list(backend_scales),
+            "serving_concurrency": serving_concurrency,
+            "serving_requests": serving_requests,
+            "serving_bulk": serving_bulk,
             "cpu_count": os.cpu_count(),
             "seed": seed,
             "python": platform.python_version(),

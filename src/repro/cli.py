@@ -8,14 +8,24 @@ Examples::
 
     python -m repro list
     python -m repro partition --dataset pokec --method distributed_ne \
-        --partitions 16 --out pokec.part.npz
+        --partitions 16 --out pokec.part.npz --store runs.sqlite
     python -m repro partition --edges my_graph.tsv --method ne -p 8
     python -m repro inspect pokec.part.npz
+    python -m repro serve --store runs.sqlite --port 8080
+    python -m repro store import runs.sqlite "benchmarks/results/*.json"
     python -m repro experiment fig6 --dataset pokec
     python -m repro bench perf --scales 12 14 17 --out BENCH_kernels.json
 
 The CLI is a thin shell over the library; everything it does is also
 available programmatically (see README quickstart).
+
+Flag scoping: options that only apply to some methods live in their
+own argument groups under ``partition`` (execution backend for
+``distributed_ne``/``sne``; checkpoint/fault-tolerance flags likewise,
+with ``--step-timeout``/``--max-retries`` further requiring
+``--backend processes``) and appear under no other subcommand.  The
+CLI validates the combination before running and exits 2 with a
+specific message on a mismatch.
 """
 
 from __future__ import annotations
@@ -67,7 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list methods and datasets")
 
-    p_part = sub.add_parser("partition", help="partition a graph")
+    p_part = sub.add_parser(
+        "partition", help="partition a graph",
+        epilog="The execution-backend and fault-tolerance groups only "
+               "apply to the methods named in their titles; other "
+               "methods reject those flags with exit code 2.")
     source = p_part.add_mutually_exclusive_group(required=True)
     source.add_argument("--dataset", help="registered dataset stand-in")
     source.add_argument("--edges", help="TSV edge-list file (src\\tdst)")
@@ -79,38 +93,80 @@ def build_parser() -> argparse.ArgumentParser:
                         help="implementation to run for methods with a "
                              "kernel= flag (default: the method's own "
                              "default, i.e. vectorized)")
-    p_part.add_argument("--backend", choices=BACKENDS, default=None,
-                        help="execution backend for methods with a "
-                             "backend= flag (distributed_ne, sne): "
-                             "simulated scheduler, thread pool, or "
-                             "shared-memory worker processes "
-                             "(default: simulated)")
-    p_part.add_argument("--workers", type=int, default=None,
-                        help="worker count for the threads/processes "
-                             "backends (default 4)")
-    p_part.add_argument("--checkpoint-dir", default=None,
-                        help="directory for superstep-granular "
-                             "checkpoints (methods with a "
-                             "checkpoint_dir= flag: distributed_ne, "
-                             "sne)")
-    p_part.add_argument("--checkpoint-every", type=int, default=None,
-                        help="checkpoint cadence in iterations "
-                             "(distributed_ne; default 1)")
-    p_part.add_argument("--resume", action="store_true",
-                        help="resume from the newest checkpoint in "
-                             "--checkpoint-dir (bit-identical to the "
-                             "uninterrupted run)")
-    p_part.add_argument("--step-timeout", type=float, default=None,
-                        help="seconds before a worker reply counts as "
-                             "hung (requires --backend processes)")
-    p_part.add_argument("--max-retries", type=int, default=None,
-                        help="respawn-and-retry budget for failed/hung "
-                             "workers (requires --backend processes)")
     p_part.add_argument("--out", help="write result to this .npz path")
+    p_part.add_argument("--store", metavar="DB",
+                        help="also record the run (assignment arrays, "
+                             "replica sets, metrics) in this SQLite "
+                             "run store, servable via `repro serve`")
+    p_part.add_argument("--store-label", default=None,
+                        help="label for the stored run (default: the "
+                             "dataset or edges path)")
+
+    g_backend = p_part.add_argument_group(
+        "execution backend (distributed_ne, sne only)",
+        "Who runs the per-partition supersteps.  Other methods have "
+        "no backend= flag and reject these.")
+    g_backend.add_argument("--backend", choices=BACKENDS, default=None,
+                           help="simulated scheduler (default), thread "
+                                "pool, or shared-memory worker "
+                                "processes")
+    g_backend.add_argument("--workers", type=int, default=None,
+                           help="worker count for the threads/processes "
+                                "backends (default 4)")
+
+    g_fault = p_part.add_argument_group(
+        "checkpointing and fault tolerance (distributed_ne, sne only)",
+        "Superstep-granular checkpoint/resume on any backend; worker "
+        "supervision (--step-timeout/--max-retries) additionally "
+        "requires --backend processes.")
+    g_fault.add_argument("--checkpoint-dir", default=None,
+                         help="directory for superstep-granular "
+                              "checkpoints")
+    g_fault.add_argument("--checkpoint-every", type=int, default=None,
+                         help="checkpoint cadence in iterations "
+                              "(distributed_ne; default 1)")
+    g_fault.add_argument("--resume", action="store_true",
+                         help="resume from the newest checkpoint in "
+                              "--checkpoint-dir (bit-identical to the "
+                              "uninterrupted run)")
+    g_fault.add_argument("--step-timeout", type=float, default=None,
+                         help="seconds before a worker reply counts as "
+                              "hung (requires --backend processes)")
+    g_fault.add_argument("--max-retries", type=int, default=None,
+                         help="respawn-and-retry budget for failed/"
+                              "hung workers (requires --backend "
+                              "processes)")
 
     p_inspect = sub.add_parser("inspect",
                                help="print metrics of a saved partition")
     p_inspect.add_argument("path")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a run store over async HTTP (docs/API.md)")
+    p_serve.add_argument("--store", required=True, metavar="DB",
+                         help="SQLite run store written by `repro "
+                              "partition --store` or `repro store "
+                              "import`")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--hot-vertices", type=int, default=4096,
+                         help="capacity of the hot-vertex LRU read "
+                              "cache (default 4096)")
+
+    p_store = sub.add_parser(
+        "store", help="inspect or backfill a run store")
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_import = store_sub.add_parser(
+        "import", help="import benchmarks/results/*.json experiment "
+                       "rows as metrics-only runs")
+    p_import.add_argument("db", help="run store path (created if absent)")
+    p_import.add_argument("patterns", nargs="+",
+                          help="JSON files or globs to import")
+    p_list = store_sub.add_parser("list", help="list stored runs")
+    p_list.add_argument("db")
+    p_list.add_argument("--limit", type=int, default=50)
+    p_list.add_argument("--offset", type=int, default=0)
 
     p_exp = sub.add_parser("experiment", help="run an evaluation driver")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -260,7 +316,43 @@ def _cmd_partition(args) -> int:
     if args.out:
         save_partition(args.out, result)
         print(f"  saved to           : {args.out}")
+    if args.store:
+        from repro.serving import RunStore
+        with RunStore(args.store) as store:
+            run_id = store.add_run(result, seed=args.seed,
+                                   label=args.store_label or label)
+        print(f"  stored as run      : {run_id} (in {args.store})")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import RunStore, ServingAPI, serve
+    store = RunStore(args.store)
+    api = ServingAPI(store, hot_vertices=args.hot_vertices)
+    print(f"serving {args.store} ({store.run_count()} runs) on "
+          f"http://{args.host}:{args.port}/api — Ctrl-C to stop")
+    serve(api, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.serving import RunStore, import_results
+    with RunStore(args.db) as store:
+        if args.store_command == "import":
+            run_ids = import_results(store, args.patterns)
+            print(f"imported {len(run_ids)} runs into {args.db} "
+                  f"({store.run_count()} total)")
+            return 0
+        rows = store.list_runs(limit=args.limit, offset=args.offset)
+        if not rows:
+            print("no runs")
+            return 1
+        headers = ["run_id", "label", "method", "num_partitions",
+                   "num_edges", "status", "created_utc"]
+        print(format_table(
+            headers, [[row.get(h, "") for h in headers] for row in rows],
+            title=f"runs in {args.db}"))
+        return 0
 
 
 def _cmd_inspect(args) -> int:
@@ -336,6 +428,8 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "partition": _cmd_partition,
         "inspect": _cmd_inspect,
+        "serve": _cmd_serve,
+        "store": _cmd_store,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
         "app": _cmd_app,

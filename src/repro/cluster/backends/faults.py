@@ -22,6 +22,26 @@ Seeded delays (:meth:`FaultPlan.seeded_delays`) draw per-(worker,
 superstep) sleeps from a seeded RNG — reproducible scheduling noise
 for shaking out ordering assumptions without changing any pinned
 total.
+
+Invariants pinned by ``tests/test_faults.py`` (CI ``chaos`` job) —
+the contract new fault kinds or backends must keep:
+
+* **recovery bit-identity** — any armed kill/hang/raise that the
+  supervisor recovers from (respawn + retry) yields a run
+  bit-identical to the fault-free run: assignments, every accounting
+  total, and the superstep ledger.  This leans on step purity (a step
+  reads only its own state + delivered mail) and on outboxes being
+  replayed only on success;
+* **fire-once determinism** — an event fires on exactly the attempt
+  it was armed for; retries of the same superstep must not re-trigger
+  it, or recovery tests would race themselves;
+* **atomic terminal failure** — when retries are exhausted, no
+  partial outbox is applied, retained inboxes return to the parent's
+  delivered map, and accounting is untouched;
+* **no resource leaks** — every failure path leaves ``/dev/shm``
+  clean after ``close()``;
+* **delay neutrality** — ``delay`` and ``seeded_delays`` events must
+  be result-neutral: they reorder wall-clock, never outputs.
 """
 
 from __future__ import annotations

@@ -14,6 +14,28 @@ mid-checkpoint leaves the previous snapshot intact, and the store
 prunes to the ``keep`` most recent snapshots so an N-thousand-barrier
 run does not fill the disk.
 
+Invariants pinned by ``tests/test_faults.py`` (CI ``chaos`` job) —
+hold them when extending this module:
+
+* **resume bit-identity** — a run killed at any checkpoint boundary
+  and resumed matches the uninterrupted run bit-for-bit: assignments,
+  message/byte/barrier/memory totals, and the superstep ledger.  Any
+  driver state that influences the loop MUST join the snapshot
+  payload, or resume silently diverges;
+* **backend neutrality** — a snapshot written under one backend
+  resumes under any other (the payload is per-process state + totals,
+  never backend handles);
+* **atomicity** — a crash mid-write never corrupts the newest
+  readable snapshot (``tests/test_faults.py`` kills writers
+  mid-checkpoint);
+* **loud mismatch** — resuming against a different graph, seed,
+  kernel, or |P| raises :class:`CheckpointMismatch` naming both
+  sides, never a quiet wrong answer.
+
+The serving plane reuses the store read-only: an API job submitted
+with ``checkpoint_every`` reports :meth:`CheckpointStore.steps` as
+live progress (``docs/API.md``).
+
 Snapshots are pickles: load them only from directories you wrote.
 """
 

@@ -44,6 +44,25 @@ The plane serves ``select_and_multicast``, ``one_hop_and_sync`` and
 ``two_hop_and_report``; ``update_state`` / ``check_termination`` stay
 per-process (cheap folds of each process's own mailbox).  Vectorized
 kernel only — the reference kernel keeps its per-process steps.
+
+Invariants pinned by the tests — where to look when a change here
+breaks CI:
+
+* fused == per-process (``fused=False``) == python reference on
+  assignments and every accounting total at |P| ∈ {4, 64, 256}:
+  ``tests/test_kernel_equivalence.py::TestFusedDispatchEquivalence``;
+* the superstep *ledger* is backend-invariant: empty-mailbox
+  short-circuits are decided by the driver and submitted as counted
+  no-ops (``steps_skipped``), never silently elided, so
+  checkpoint/resume and fault-recovery replay see the same step
+  sequence on every backend (``tests/test_backends.py``,
+  ``tests/test_faults.py``);
+* bulk-priced delivery (``SimulatedCluster.deliver_segments``) equals
+  the per-buffer pricing path on every message/byte total — integer
+  bincount commutativity, pinned by ``tests/test_cluster_batched.py``;
+* the ``dne_p256`` end-to-end speedup floor:
+  ``benchmarks/perf/test_perf_smoke.py::test_dne_p256_end_to_end_at_least_2x``
+  (CI perf-smoke matrix, its own entry).
 """
 
 from __future__ import annotations

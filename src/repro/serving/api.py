@@ -1,0 +1,591 @@
+"""Async HTTP query layer over the run store.
+
+A small, dependency-free HTTP/1.1 server on stdlib ``asyncio`` (no
+``http.server``): the event loop owns the sockets and request framing,
+every request body is dispatched to a thread pool (SQLite reads and
+mmap gathers release the GIL or finish in microseconds), and responses
+are JSON.  Keep-alive is supported, so a load generator can hammer one
+connection with thousands of lookups.
+
+The routing core is :meth:`ServingAPI.handle` — a pure
+``(method, path, query, body) -> (status, payload)`` function with no
+socket types in sight, so the route tests exercise it directly and the
+socket layer stays a thin framing shell.  Long partitioning runs are
+submitted as background *jobs* (one thread each) and polled via
+``/api/jobs/<id>``; a job started with ``checkpoint_every`` rides the
+PR-7 checkpoint plane (:mod:`repro.cluster.checkpoint`), so its status
+reports the snapshot ledger while the run is in flight.
+
+Endpoint reference: ``docs/API.md`` (kept in lockstep with this
+module; the docs CI job link-checks it).  Pagination follows the
+keyset-cursor contract of :meth:`RunStore.boundary_page`: pass the
+``next_cursor`` from one page as ``cursor`` of the next; cursors are
+stable under concurrent run inserts because the key is the immutable
+vertex id of one frozen run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.serving.lookup import LookupRangeError, LookupService
+from repro.serving.store import RunStore, StoreError
+
+__all__ = ["ServingAPI", "ApiError", "BackgroundServer", "serve"]
+
+#: hard page-size ceiling (Snippet-3 style: default 50, max 200)
+MAX_PAGE_LIMIT = 200
+DEFAULT_PAGE_LIMIT = 50
+#: largest bulk-lookup batch a single POST may carry
+MAX_BULK_IDS = 200_000
+#: largest request body accepted (covers MAX_BULK_IDS int ids as JSON)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """An HTTP error response: ``(status, message)``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Job:
+    """One background partitioning run."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, request: dict):
+        self.job_id = next(self._ids)
+        self.request = request
+        self.state = "pending"      # pending -> running -> done | failed
+        self.run_id: int | None = None
+        self.error: str | None = None
+        self.checkpoint_dir: str | None = None
+        self.lock = threading.Lock()
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            doc = {"job_id": self.job_id, "state": self.state,
+                   "run_id": self.run_id, "error": self.error,
+                   "request": self.request}
+        if self.checkpoint_dir is not None:
+            from repro.cluster.checkpoint import CheckpointStore
+            doc["checkpoints"] = CheckpointStore(self.checkpoint_dir).steps()
+        return doc
+
+
+class ServingAPI:
+    """Routes over one :class:`RunStore` + :class:`LookupService`."""
+
+    def __init__(self, store: RunStore, *,
+                 lookup: LookupService | None = None,
+                 hot_vertices: int = 4096):
+        self.store = store
+        self.lookup = lookup or LookupService(store,
+                                              hot_vertices=hot_vertices)
+        self._jobs: dict[int, _Job] = {}
+        self._jobs_lock = threading.Lock()
+
+    # -- dispatch ------------------------------------------------------
+    def handle(self, method: str, path: str, query: dict | None = None,
+               body: bytes | None = None) -> tuple[int, dict]:
+        """Route one request; returns ``(status, json_payload)``.
+
+        ``query`` accepts plain scalars or ``parse_qs``-style value
+        lists (the socket layer passes the latter; repeated parameters
+        resolve to their last value).  Never raises for client-visible
+        conditions — bad routes, parameters, and ids come back as 4xx
+        payloads with an ``error`` key.
+        """
+        query = {k: v if isinstance(v, list) else [str(v)]
+                 for k, v in (query or {}).items()}
+        try:
+            return self._route(method.upper(), path, query, body)
+        except ApiError as exc:
+            return exc.status, {"error": exc.message}
+        except (StoreError, LookupRangeError) as exc:
+            status = 404 if isinstance(exc, StoreError) else 400
+            return status, {"error": str(exc)}
+
+    def _route(self, method, path, query, body):
+        seg = [s for s in path.split("/") if s]
+        if not seg or seg[0] != "api":
+            raise ApiError(404, f"unknown path {path!r}")
+        seg = seg[1:]
+        if seg == ["health"]:
+            self._require(method, "GET")
+            return 200, {"status": "ok"}
+        if seg == ["runs"]:
+            if method == "POST":
+                return self._submit_job(body)
+            self._require(method, "GET")
+            return self._list_runs(query)
+        if seg == ["jobs"]:
+            self._require(method, "GET")
+            with self._jobs_lock:
+                jobs = sorted(self._jobs.values(),
+                              key=lambda j: j.job_id)
+            return 200, {"items": [j.snapshot() for j in jobs]}
+        if len(seg) == 2 and seg[0] == "jobs":
+            self._require(method, "GET")
+            return self._job_status(_int(seg[1], "job id"))
+        if seg and seg[0] == "runs" and len(seg) >= 2:
+            run_id = _int(seg[1], "run id")
+            rest = seg[2:]
+            if not rest:
+                self._require(method, "GET")
+                return self._run_detail(run_id)
+            if rest == ["metrics"]:
+                self._require(method, "GET")
+                return 200, {"run_id": run_id,
+                             "metrics": self.store.metrics(run_id)}
+            if rest == ["lookup"]:
+                self._require(method, "POST")
+                return self._bulk_lookup(run_id, body)
+            if rest == ["boundary"]:
+                self._require(method, "GET")
+                return self._boundary(run_id, query)
+            if rest == ["replicas"]:
+                self._require(method, "GET")
+                return self._replicas(run_id, query)
+            if len(rest) == 2 and rest[0] == "vertex":
+                self._require(method, "GET")
+                return self._vertex(run_id, _int(rest[1], "vertex id"))
+            if len(rest) == 2 and rest[0] == "edge":
+                self._require(method, "GET")
+                return self._edge(run_id, _int(rest[1], "edge id"))
+        raise ApiError(404, f"unknown path {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise ApiError(405, f"method {method} not allowed "
+                                f"(expected {expected})")
+
+    # -- runs ----------------------------------------------------------
+    def _list_runs(self, query):
+        limit = _page_limit(query)
+        offset = max(0, _query_int(query, "offset", 0))
+        items = self.store.list_runs(limit=limit, offset=offset)
+        total = self.store.run_count()
+        return 200, {"items": items,
+                     "page": {"total": total, "limit": limit,
+                              "offset": offset,
+                              "has_more": offset + len(items) < total}}
+
+    def _run_detail(self, run_id):
+        run = self.store.get_run(run_id)
+        run["metrics"] = self.store.metrics(run_id)
+        return 200, run
+
+    def _vertex(self, run_id, vertex):
+        parts = self.lookup.vertex_lookup(run_id, vertex)
+        return 200, {"run_id": run_id, "vertex": vertex,
+                     "partitions": list(parts),
+                     "replicas": len(parts),
+                     "boundary": len(parts) >= 2}
+
+    def _edge(self, run_id, edge_id):
+        return 200, {"run_id": run_id, "edge": edge_id,
+                     "partition": self.lookup.edge_lookup(run_id,
+                                                          edge_id)}
+
+    # -- bulk lookup ---------------------------------------------------
+    def _bulk_lookup(self, run_id, body):
+        doc = _json_body(body)
+        kernel = doc.get("kernel", "vectorized")
+        if kernel not in ("vectorized", "python"):
+            raise ApiError(400, f"unknown kernel {kernel!r}")
+        has_v, has_e = "vertices" in doc, "edges" in doc
+        if has_v == has_e:
+            raise ApiError(400,
+                           "body must carry exactly one of 'vertices' "
+                           "or 'edges'")
+        ids = doc["vertices" if has_v else "edges"]
+        if not isinstance(ids, list):
+            raise ApiError(400, "id list must be a JSON array")
+        if len(ids) > MAX_BULK_IDS:
+            raise ApiError(413, f"bulk lookup capped at {MAX_BULK_IDS} "
+                                f"ids per request (got {len(ids)})")
+        try:
+            arr = np.asarray(ids)
+        except (ValueError, OverflowError, TypeError):
+            raise ApiError(400, "id list must contain only integers")
+        if arr.shape != (len(ids),):
+            raise ApiError(400, "id list must be flat")
+        if len(ids) and arr.dtype.kind not in "iu":
+            # np.asarray(..., dtype=int64) would truncate floats
+            # silently; reject anything that isn't integral
+            raise ApiError(400, "id list must contain only integers")
+        arr = arr.astype(np.int64) if len(ids) else np.empty(
+            0, dtype=np.int64)
+        if has_v:
+            counts, flat = self.lookup.bulk_vertex_lookup(
+                run_id, arr, kernel=kernel)
+            return 200, {"run_id": run_id, "kernel": kernel,
+                         "vertices": len(ids),
+                         "counts": counts.tolist(),
+                         "partitions": flat.tolist()}
+        parts = self.lookup.bulk_edge_lookup(run_id, arr, kernel=kernel)
+        return 200, {"run_id": run_id, "kernel": kernel,
+                     "edges": len(ids), "partitions": parts.tolist()}
+
+    # -- paginated listings -------------------------------------------
+    def _boundary(self, run_id, query):
+        limit = _page_limit(query)
+        cursor = _query_cursor(query)
+        items, next_cursor = self.store.boundary_page(
+            run_id, cursor=cursor, limit=limit)
+        return 200, {"items": items,
+                     "page": _cursor_page(limit, next_cursor)}
+
+    def _replicas(self, run_id, query):
+        if "partition" not in query:
+            raise ApiError(400, "missing required parameter 'partition'")
+        partition = _query_int(query, "partition", None)
+        limit = _page_limit(query)
+        cursor = _query_cursor(query)
+        try:
+            vertices, next_cursor = self.store.replica_page(
+                run_id, partition, cursor=cursor, limit=limit)
+        except StoreError as exc:
+            # unknown run -> 404, out-of-range partition -> 400
+            if "has no partition" in str(exc):
+                raise ApiError(400, str(exc))
+            raise
+        return 200, {"run_id": run_id, "partition": partition,
+                     "items": vertices,
+                     "page": _cursor_page(limit, next_cursor)}
+
+    # -- jobs ----------------------------------------------------------
+    def _submit_job(self, body):
+        from repro.graph.datasets import DATASETS
+        from repro.partitioners import PARTITIONER_REGISTRY
+
+        doc = _json_body(body)
+        method = doc.get("method")
+        if method not in PARTITIONER_REGISTRY:
+            raise ApiError(400, f"unknown method {method!r}; available: "
+                                f"{sorted(PARTITIONER_REGISTRY)}")
+        dataset = doc.get("dataset")
+        if dataset not in DATASETS:
+            raise ApiError(400, f"unknown dataset {dataset!r}; "
+                                f"available: {sorted(DATASETS)}")
+        partitions = doc.get("partitions", 16)
+        if not isinstance(partitions, int) or partitions < 1:
+            raise ApiError(400, "'partitions' must be a positive integer")
+        seed = doc.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ApiError(400, "'seed' must be an integer")
+        checkpoint_every = doc.get("checkpoint_every")
+        if checkpoint_every is not None and (
+                not isinstance(checkpoint_every, int)
+                or checkpoint_every < 1):
+            raise ApiError(400, "'checkpoint_every' must be a positive "
+                                "integer")
+        request = {"method": method, "dataset": dataset,
+                   "partitions": partitions, "seed": seed}
+        if doc.get("label") is not None:
+            request["label"] = str(doc["label"])
+        if checkpoint_every is not None:
+            request["checkpoint_every"] = checkpoint_every
+        job = _Job(request)
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+        thread = threading.Thread(target=self._run_job, args=(job,),
+                                  name=f"serving-job-{job.job_id}",
+                                  daemon=True)
+        thread.start()
+        return 202, {"job_id": job.job_id, "state": job.state,
+                     "poll": f"/api/jobs/{job.job_id}"}
+
+    def _job_status(self, job_id):
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, f"unknown job {job_id}")
+        return 200, job.snapshot()
+
+    def _run_job(self, job: _Job) -> None:
+        import inspect as _inspect
+
+        from repro.graph.datasets import load_dataset
+        from repro.partitioners import PARTITIONER_REGISTRY
+
+        req = job.request
+        with job.lock:
+            job.state = "running"
+        try:
+            cls = PARTITIONER_REGISTRY[req["method"]]
+            kwargs = {}
+            if req.get("checkpoint_every") is not None:
+                params = _inspect.signature(cls.__init__).parameters
+                if "checkpoint_dir" not in params:
+                    raise ValueError(
+                        f"method {req['method']!r} does not support "
+                        "checkpointing")
+                job.checkpoint_dir = (f"{self.store.path}.jobs/"
+                                      f"job-{job.job_id}")
+                kwargs["checkpoint_dir"] = job.checkpoint_dir
+                if "checkpoint_every" in params:
+                    kwargs["checkpoint_every"] = req["checkpoint_every"]
+            graph = load_dataset(req["dataset"], seed=req["seed"])
+            result = cls(req["partitions"], seed=req["seed"],
+                         **kwargs).partition(graph)
+            run_id = self.store.add_run(
+                result, seed=req["seed"],
+                label=req.get("label", req["dataset"]),
+                source=f"job:{job.job_id}")
+            with job.lock:
+                job.run_id = run_id
+                job.state = "done"
+        except Exception as exc:  # surfaced through the status endpoint
+            with job.lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+
+
+# ----------------------------------------------------------------------
+# request/parameter helpers
+# ----------------------------------------------------------------------
+def _int(text: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ApiError(400, f"invalid {what}: {text!r}")
+
+
+def _query_int(query: dict, name: str, default):
+    values = query.get(name)
+    if not values:
+        if default is None:
+            raise ApiError(400, f"missing required parameter {name!r}")
+        return default
+    return _int(values[-1], f"parameter {name!r}")
+
+
+def _page_limit(query: dict) -> int:
+    limit = _query_int(query, "limit", DEFAULT_PAGE_LIMIT)
+    if limit < 1:
+        raise ApiError(400, "parameter 'limit' must be >= 1")
+    return min(limit, MAX_PAGE_LIMIT)
+
+
+def _query_cursor(query: dict) -> int | None:
+    values = query.get("cursor")
+    if not values:
+        return None
+    return _int(values[-1], "cursor")
+
+
+def _cursor_page(limit: int, next_cursor) -> dict:
+    return {"limit": limit,
+            "next_cursor": None if next_cursor is None
+            else str(next_cursor),
+            "has_more": next_cursor is not None}
+
+
+def _json_body(body: bytes | None) -> dict:
+    if not body:
+        raise ApiError(400, "missing JSON request body")
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, f"invalid JSON body: {exc}")
+    if not isinstance(doc, dict):
+        raise ApiError(400, "JSON body must be an object")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# asyncio socket layer
+# ----------------------------------------------------------------------
+class _HttpServer:
+    """Minimal HTTP/1.1 framing over ``asyncio.start_server``."""
+
+    def __init__(self, api: ServingAPI, *, pool_workers: int = 8):
+        self.api = api
+        self.pool = ThreadPoolExecutor(max_workers=pool_workers,
+                                       thread_name_prefix="serving")
+
+    async def client(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive = await self._one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                asyncio.LimitOverrunError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown: drop the connection without letting the
+            # cancellation escape (asyncio logs escaped client errors).
+            writer.close()
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _one_request(self, reader, writer) -> bool:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").split())
+        except ValueError:
+            await self._respond(writer, 400,
+                                {"error": "malformed request line"},
+                                close=True)
+            return False
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            await self._respond(
+                writer, 413,
+                {"error": f"body larger than {MAX_BODY_BYTES} bytes"},
+                close=True)
+            return False
+        if length:
+            body = await reader.readexactly(length)
+
+        parts = urlsplit(target)
+        query = parse_qs(parts.query)
+        loop = asyncio.get_running_loop()
+        try:
+            status, payload = await loop.run_in_executor(
+                self.pool, self.api.handle, method, parts.path, query,
+                body)
+        except Exception as exc:  # a bug, not a client error
+            status, payload = 500, {"error":
+                                    f"{type(exc).__name__}: {exc}"}
+        keep_alive = (version != "HTTP/1.0"
+                      and headers.get("connection", "").lower() != "close"
+                      and status < 500)
+        await self._respond(writer, status, payload,
+                            close=not keep_alive)
+        return keep_alive
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict,
+                       close: bool) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  413: "Payload Too Large",
+                  500: "Internal Server Error"}.get(status, "Status")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'close' if close else 'keep-alive'}\r\n"
+                "\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+async def _serve_async(api: ServingAPI, host: str, port: int,
+                       ready: "threading.Event | None" = None,
+                       bound: list | None = None) -> None:
+    http = _HttpServer(api)
+    server = await asyncio.start_server(http.client, host, port)
+    if bound is not None:
+        bound.append(server.sockets[0].getsockname()[1])
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        http.pool.shutdown(wait=False)
+
+
+def serve(api: ServingAPI, host: str = "127.0.0.1",
+          port: int = 8080) -> None:
+    """Run the server in the calling thread until interrupted."""
+    try:
+        asyncio.run(_serve_async(api, host, port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+
+
+class BackgroundServer:
+    """The server on a daemon thread — for tests, benches, and the CLI.
+
+    ::
+
+        with BackgroundServer(api) as srv:
+            http.client.HTTPConnection("127.0.0.1", srv.port)
+    """
+
+    def __init__(self, api: ServingAPI, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.host = host
+        self._ready = threading.Event()
+        self._bound: list = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(api, host, port),
+            name="serving-http", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("serving HTTP thread failed to start")
+        self.port = self._bound[0]
+
+    def _run(self, api, host, port):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(
+                _serve_async(api, host, port, ready=self._ready,
+                             bound=self._bound))
+        except asyncio.CancelledError:  # stop() cancels serve_forever
+            pass
+        finally:
+            # Let in-flight client tasks observe their cancellation so
+            # the loop closes without "task was destroyed" warnings.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.close()
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not self._thread.is_alive():
+            return
+
+        def _cancel_all():
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(_cancel_all)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,282 @@
+"""Run-store round-trip tests: what goes in must come back out.
+
+The store's contract is stronger than "SQLite works": the flat array
+blobs are checksummed, the mmap sidecars must agree with the blobs,
+the vertex→replica CSR must agree with a from-scratch recomputation,
+and the *bulk lookup served from a reopened store* must equal the
+replica sets derivable from the in-memory assignment array — for both
+kernels.  The property test drives that whole chain on random graphs.
+"""
+
+import json
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.partitioners.hashing import DBHPartitioner as DBH
+from repro.serving import (
+    ChecksumError,
+    LookupService,
+    RunStore,
+    StoreError,
+    import_results,
+    vertex_replica_csr,
+)
+from repro.serving.store import ASSIGNMENT_KINDS, SCHEMA_VERSION
+
+
+def _store(tmp_path) -> RunStore:
+    return RunStore(str(tmp_path / "runs.db"))
+
+
+def _partition(scale=9, edge_factor=6, parts=4, seed=0):
+    graph = CSRGraph(rmat_edges(scale, edge_factor, seed=seed))
+    return DBH(parts, seed=seed).partition(graph)
+
+
+def _expected_replicas(graph, assignment) -> dict[int, tuple]:
+    """Vertex → ascending replica tuple, straight from the edges."""
+    out: dict[int, set] = {v: set() for v in range(graph.num_vertices)}
+    for (u, v), p in zip(graph.edges.tolist(), assignment.tolist()):
+        out[u].add(int(p))
+        out[v].add(int(p))
+    return {v: tuple(sorted(s)) for v, s in out.items()}
+
+
+# ----------------------------------------------------------------------
+# the round-trip property
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(scale=st.integers(min_value=4, max_value=8),
+       edge_factor=st.integers(min_value=2, max_value=8),
+       parts=st.integers(min_value=2, max_value=9),
+       seed=st.integers(min_value=0, max_value=2**20))
+def test_store_roundtrip_property(tmp_path_factory, scale, edge_factor,
+                                  parts, seed):
+    """write run → reopen → bulk lookup == in-memory replica sets,
+    for both kernels, bit-identical to each other."""
+    tmp_path = tmp_path_factory.mktemp("store")
+    graph = CSRGraph(rmat_edges(scale, edge_factor, seed=seed))
+    result = DBH(parts, seed=seed).partition(graph)
+    expected = _expected_replicas(graph, result.assignment)
+
+    path = str(tmp_path / "runs.db")
+    with RunStore(path) as store:
+        run_id = store.add_run(result, seed=seed)
+
+    with RunStore(path) as store:  # cold reopen — no shared state
+        lookup = LookupService(store)
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        c_vec, f_vec = lookup.bulk_vertex_lookup(run_id, vertices,
+                                                 kernel="vectorized")
+        c_py, f_py = lookup.bulk_vertex_lookup(run_id, vertices,
+                                               kernel="python")
+        assert np.array_equal(c_vec, c_py)
+        assert np.array_equal(f_vec, f_py)
+        pos = 0
+        for v in range(graph.num_vertices):
+            row = tuple(f_vec[pos:pos + c_vec[v]].tolist())
+            assert row == expected[v], f"vertex {v}"
+            pos += int(c_vec[v])
+        assert np.array_equal(
+            store.load_array(run_id, "edge_assignment"),
+            result.assignment)
+
+
+def test_mmap_sidecar_matches_blob(tmp_path):
+    with _store(tmp_path) as store:
+        run_id = store.add_run(_partition())
+        for kind in ASSIGNMENT_KINDS:
+            blob = store.load_array(run_id, kind)
+            mm = store.mmap_array(run_id, kind)
+            assert not mm.flags.writeable
+            assert np.array_equal(blob, mm)
+        # second open pays only the header read, same contents
+        assert np.array_equal(store.mmap_array(run_id, "replica_parts"),
+                              store.load_array(run_id, "replica_parts"))
+
+
+def test_replica_csr_matches_recomputation(tmp_path):
+    result = _partition(parts=7)
+    with _store(tmp_path) as store:
+        run_id = store.add_run(result)
+        indptr, parts = vertex_replica_csr(
+            result.graph.edges, result.assignment,
+            result.graph.num_vertices, result.num_partitions)
+        assert np.array_equal(store.load_array(run_id, "replica_indptr"),
+                              indptr)
+        assert np.array_equal(store.load_array(run_id, "replica_parts"),
+                              parts)
+
+
+def test_metrics_row_matches_quality_module(tmp_path):
+    from repro.metrics.quality import replication_factor
+    result = _partition()
+    with _store(tmp_path) as store:
+        run_id = store.add_run(result)
+        stored = store.metrics(run_id)
+        assert stored["replication_factor"] == pytest.approx(
+            replication_factor(result.graph, result.assignment,
+                               result.num_partitions))
+        assert set(stored) >= {"replication_factor", "edge_balance",
+                               "vertex_balance", "vertex_cuts"}
+
+
+# ----------------------------------------------------------------------
+# integrity + schema discipline
+# ----------------------------------------------------------------------
+def test_corrupted_blob_fails_checksum(tmp_path):
+    path = str(tmp_path / "runs.db")
+    with RunStore(path) as store:
+        run_id = store.add_run(_partition())
+    conn = sqlite3.connect(path)
+    blob = conn.execute(
+        "SELECT data FROM assignments WHERE run_id = ? AND kind = ?",
+        (run_id, "edge_assignment")).fetchone()[0]
+    flipped = bytes([blob[0] ^ 0xFF]) + blob[1:]
+    with conn:
+        conn.execute(
+            "UPDATE assignments SET data = ? WHERE run_id = ? "
+            "AND kind = ?", (flipped, run_id, "edge_assignment"))
+    conn.close()
+    with RunStore(path) as store:
+        with pytest.raises(ChecksumError):
+            store.load_array(run_id, "edge_assignment")
+
+
+def test_store_is_wal_mode_and_versioned(tmp_path):
+    with _store(tmp_path) as store:
+        assert store._conn.execute(
+            "PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert store.schema_version() == SCHEMA_VERSION
+        rows = store._conn.execute(
+            "SELECT version FROM schema_migrations ORDER BY version"
+        ).fetchall()
+        assert [r["version"] for r in rows] == list(
+            range(1, SCHEMA_VERSION + 1))
+
+
+def test_newer_store_refused(tmp_path):
+    path = str(tmp_path / "runs.db")
+    RunStore(path).close()
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "INSERT INTO schema_migrations (version, applied_utc) "
+            "VALUES (?, '2099-01-01T00:00:00Z')", (SCHEMA_VERSION + 1,))
+    conn.close()
+    with pytest.raises(StoreError, match="newer than this build"):
+        RunStore(path)
+
+
+def test_reopen_is_idempotent(tmp_path):
+    path = str(tmp_path / "runs.db")
+    with RunStore(path) as store:
+        store.add_run(_partition())
+    with RunStore(path) as store:
+        assert store.run_count() == 1
+        assert store.schema_version() == SCHEMA_VERSION
+
+
+def test_unknown_run_and_missing_array(tmp_path):
+    with _store(tmp_path) as store:
+        with pytest.raises(StoreError):
+            store.get_run(999)
+        run_id = store.add_imported_run(method="hdrf",
+                                        metrics={"rf": 2.0})
+        with pytest.raises(StoreError, match="metrics-only"):
+            store.load_array(run_id, "edge_assignment")
+
+
+# ----------------------------------------------------------------------
+# keyset pagination (store level)
+# ----------------------------------------------------------------------
+def test_boundary_pages_cover_exactly_the_boundary_set(tmp_path):
+    result = _partition(parts=8)
+    expected = {v: parts for v, parts
+                in _expected_replicas(result.graph,
+                                      result.assignment).items()
+                if len(parts) >= 2}
+    with _store(tmp_path) as store:
+        run_id = store.add_run(result)
+        seen: dict[int, tuple] = {}
+        cursor = None
+        while True:
+            items, cursor = store.boundary_page(run_id, cursor=cursor,
+                                                limit=17)
+            for item in items:
+                assert item["vertex"] not in seen, "duplicate page row"
+                seen[item["vertex"]] = tuple(item["partitions"])
+                assert item["replicas"] == len(item["partitions"])
+            if cursor is None:
+                break
+        assert seen == expected
+
+
+def test_replica_pages_cover_partition_membership(tmp_path):
+    result = _partition(parts=5)
+    replicas = _expected_replicas(result.graph, result.assignment)
+    with _store(tmp_path) as store:
+        run_id = store.add_run(result)
+        for p in range(5):
+            expected = sorted(v for v, ps in replicas.items()
+                              if p in ps)
+            got: list[int] = []
+            cursor = None
+            while True:
+                vertices, cursor = store.replica_page(
+                    run_id, p, cursor=cursor, limit=13)
+                got.extend(vertices)
+                if cursor is None:
+                    break
+            assert got == expected
+        with pytest.raises(StoreError, match="has no partition"):
+            store.replica_page(run_id, 5)
+
+
+# ----------------------------------------------------------------------
+# benchmarks/results importer
+# ----------------------------------------------------------------------
+def test_import_results_splits_identity_from_metrics(tmp_path):
+    rows = [
+        {"dataset": "pokec", "method": "hdrf", "partitions": 64,
+         "seed": 3, "replication_factor": 2.5,
+         "elapsed_seconds": 1.25, "note": "not-a-number"},
+        {"no_method": True},
+        {"dataset": "pokec", "method": "dne", "partitions": 64,
+         "replication_factor": 1.9},
+    ]
+    src = tmp_path / "table4.json"
+    src.write_text(json.dumps(rows))
+    with _store(tmp_path) as store:
+        run_ids = import_results(store, str(src))
+        assert len(run_ids) == 2  # the method-less row is skipped
+        run = store.get_run(run_ids[0])
+        assert run["status"] == "imported"
+        assert run["method"] == "hdrf"
+        assert run["num_partitions"] == 64
+        assert run["source"] == "import:table4.json"
+        extra = run["extra"]
+        assert extra["dataset"] == "pokec" and extra["seed"] == 3
+        metrics = store.metrics(run_ids[0])
+        assert metrics == {"replication_factor": 2.5,
+                           "elapsed_seconds": 1.25}
+
+
+def test_import_results_glob_and_real_results_dir(tmp_path):
+    results_dir = os.path.join(os.path.dirname(__file__), "..",
+                               "benchmarks", "results")
+    if not os.path.isdir(results_dir) or not any(
+            f.endswith(".json") for f in os.listdir(results_dir)):
+        pytest.skip("no benchmarks/results/*.json in this checkout")
+    with _store(tmp_path) as store:
+        run_ids = import_results(store,
+                                 os.path.join(results_dir, "*.json"))
+        assert len(run_ids) == store.run_count()
+        assert len(run_ids) > 0

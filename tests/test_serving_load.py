@@ -1,0 +1,158 @@
+"""Socket-layer tests: the asyncio server under real concurrent load.
+
+``test_serving_api.py`` proves the dispatcher; this file proves the
+framing around it — keep-alive connection reuse, 4xx for malformed
+requests instead of dropped sockets, and the hard gate the CI serving
+job also enforces: a concurrent bulk-lookup hammer must come back with
+*zero* 5xx responses and every payload identical to the dispatcher's
+answer.  The p99 floor lives in the perf smoke (this file only asserts
+correctness, so it stays green on arbitrarily slow boxes).
+"""
+
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.partitioners.hashing import DBHPartitioner as DBH
+from repro.serving import BackgroundServer, RunStore, ServingAPI
+
+
+@pytest.fixture
+def server(tmp_path):
+    store = RunStore(str(tmp_path / "runs.db"))
+    graph = CSRGraph(rmat_edges(10, 6, seed=0))
+    result = DBH(8, seed=0).partition(graph)
+    run_id = store.add_run(result, seed=0, label="load")
+    api = ServingAPI(store)
+    with BackgroundServer(api) as srv:
+        srv.api = api
+        srv.run_id = run_id
+        srv.num_vertices = graph.num_vertices
+        yield srv
+    store.close()
+
+
+def _get(conn, path):
+    conn.request("GET", path)
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read())
+
+
+def test_http_roundtrip_and_keep_alive(server):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port)
+    try:
+        status, doc = _get(conn, "/api/health")
+        assert (status, doc) == (200, {"status": "ok"})
+        # same socket, second request — keep-alive survives
+        status, doc = _get(conn, f"/api/runs/{server.run_id}")
+        assert status == 200 and doc["run_id"] == server.run_id
+        status, doc = _get(conn, "/api/nope")
+        assert status == 404 and "error" in doc
+        # and the connection still works after an error response
+        status, _ = _get(conn, "/api/health")
+        assert status == 200
+    finally:
+        conn.close()
+
+
+def test_http_matches_dispatcher(server):
+    """The socket layer adds framing, not semantics."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port)
+    try:
+        body = json.dumps({"vertices": [0, 1, 2, 3], "kernel":
+                           "python"}).encode()
+        conn.request("POST", f"/api/runs/{server.run_id}/lookup", body,
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        over_http = (resp.status, json.loads(resp.read()))
+        direct = server.api.handle(
+            "POST", f"/api/runs/{server.run_id}/lookup", body=body)
+        assert over_http == direct
+    finally:
+        conn.close()
+
+
+def test_malformed_requests_get_4xx_not_hangs(server):
+    import socket as socketlib
+    # oversized declared body → 413, connection closed, not buffered
+    conn = http.client.HTTPConnection("127.0.0.1", server.port)
+    try:
+        conn.putrequest("POST", f"/api/runs/{server.run_id}/lookup")
+        conn.putheader("Content-Length", str(64 * 1024 * 1024))
+        conn.endheaders()
+        resp = conn.getresponse()
+        assert resp.status == 413
+    finally:
+        conn.close()
+    # garbage request line → 400 (not a silent drop)
+    raw = socketlib.create_connection(("127.0.0.1", server.port),
+                                      timeout=10)
+    try:
+        raw.sendall(b"COMPLETE GARBAGE\r\n\r\n")
+        assert b" 400 " in raw.recv(4096)
+    finally:
+        raw.close()
+
+
+def test_concurrent_bulk_hammer_zero_5xx(server):
+    """The CI serving gate in miniature: concurrent keep-alive clients
+    firing bulk lookups; every response must be 200 and correct."""
+    clients, requests_each, bulk = 8, 20, 64
+    rng = np.random.default_rng(0)
+    batches = rng.integers(0, server.num_vertices,
+                           size=(clients, requests_each, bulk))
+    # one reference answer per (client, request) via the dispatcher
+    failures: list = []
+
+    def hammer(cid: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=60)
+        try:
+            for rid in range(requests_each):
+                ids = batches[cid, rid].tolist()
+                body = json.dumps({"vertices": ids}).encode()
+                conn.request("POST",
+                             f"/api/runs/{server.run_id}/lookup",
+                             body,
+                             {"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                doc = json.loads(resp.read())
+                if resp.status != 200:
+                    failures.append((cid, rid, resp.status, doc))
+                    return
+                expected = server.api.handle(
+                    "POST", f"/api/runs/{server.run_id}/lookup",
+                    body=body)[1]
+                if doc != expected:
+                    failures.append((cid, rid, "payload-drift", None))
+                    return
+        except Exception as exc:  # noqa: BLE001 - collected, re-raised
+            failures.append((cid, "exception", repr(exc), None))
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=hammer, args=(cid,))
+               for cid in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not failures, failures[:3]
+
+
+def test_server_stops_cleanly(tmp_path):
+    store = RunStore(str(tmp_path / "runs.db"))
+    api = ServingAPI(store)
+    srv = BackgroundServer(api)
+    port = srv.port
+    srv.stop()
+    store.close()
+    with pytest.raises(OSError):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+        conn.request("GET", "/api/health")
+        conn.getresponse()

@@ -23,6 +23,7 @@ from repro.bench.perf import (
     bench_csr_build,
     bench_dne_end_to_end,
     bench_engine_gathers,
+    bench_observability_overhead,
     bench_selection_phase,
     bench_serving_lookup,
     bench_sheep_order,
@@ -156,6 +157,20 @@ def test_serving_lookup_vectorized_at_least_2x_and_serves():
     # generous ceiling: the full bench shows p99 ≈ 5-10ms for
     # bulk-64 lookups; 250ms only trips on a real serving stall
     assert 0 < http_stats["http_p99_ms"] < 250, http_stats
+
+
+def test_observability_overhead_under_bound():
+    """Tracing must be near-free: the full bench pins the traced
+    ``dne_p256`` run within ~5% of untraced; at smoke scale individual
+    runs are sub-second and scheduler jitter alone exceeds 5%, so the
+    floor here is a noise-tolerant 1.25x — it trips on a hot-path
+    regression (e.g. per-message metric calls), not on a noisy box."""
+    graph = CSRGraph(rmat_edges(11, 8, seed=0))
+    t_off, t_on = bench_observability_overhead(graph, 256, repeats=3)
+    assert t_off > 0 and t_on > 0
+    assert t_on <= 1.25 * t_off, (
+        f"telemetry overhead regressed: untraced {t_off:.3f}s vs "
+        f"traced {t_on:.3f}s ({t_on / t_off:.2f}x > 1.25x)")
 
 
 def test_sheep_order_kernels_run_and_agree():

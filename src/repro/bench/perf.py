@@ -61,7 +61,13 @@ speedups it claims and future PRs can track regressions:
   keep-alive clients hammering the live asyncio server with bulk
   lookups — recording sustained ``http_lookups_per_sec``, the
   ``http_p99_ms`` tail latency, and ``http_errors`` (non-200
-  responses, which the serving CI job pins to zero).
+  responses, which the serving CI job pins to zero);
+* ``observability_overhead`` — the PR-9 telemetry plane's
+  zero-cost-when-off claim, quantified: one full vectorized
+  ``dne_p256`` run untraced (null registry/tracer, the default)
+  versus traced (live registry + Chrome-trace tracer), min of
+  alternating repeats; the row records both wall clocks and the
+  ``overhead_ratio`` the smoke test bounds.
 
 Run via ``repro bench perf`` (see ``--help`` for scales/partitions) or
 programmatically through :func:`run_perf`.  The smoke test
@@ -96,7 +102,7 @@ __all__ = ["run_perf", "bench_graph", "bench_allocation_phases",
            "bench_dne_end_to_end", "bench_streaming_partitioner",
            "bench_sheep_order", "bench_ne_expand", "bench_engine_gathers",
            "bench_all_gather_sum", "bench_csr_build",
-           "bench_serving_lookup"]
+           "bench_serving_lookup", "bench_observability_overhead"]
 
 #: RMAT edge factor used by every perf graph.
 _EDGE_FACTOR = 8
@@ -313,13 +319,46 @@ def bench_selection_phase(graph: CSRGraph, partitions: int, kernel: str,
 # ----------------------------------------------------------------------
 def bench_dne_end_to_end(graph: CSRGraph, partitions: int, kernel: str,
                          backend: str = "simulated",
-                         workers: int | None = None) -> float:
+                         workers: int | None = None,
+                         tracer=None) -> float:
     """Seconds for one full Distributed NE partition run."""
     from repro.core.distributed_ne import DistributedNE
     t0 = time.perf_counter()
     DistributedNE(partitions, seed=0, kernel=kernel, backend=backend,
-                  workers=workers).partition(graph)
+                  workers=workers, tracer=tracer).partition(graph)
     return time.perf_counter() - t0
+
+
+def bench_observability_overhead(graph: CSRGraph, partitions: int,
+                                 repeats: int = 3
+                                 ) -> tuple[float, float]:
+    """(untraced, traced) min-of-repeats seconds for one DNE run.
+
+    The zero-cost-when-off claim, quantified: the untraced arm runs
+    with the default null registry/tracer, the traced arm with a live
+    :class:`~repro.observability.metrics.MetricsRegistry` installed
+    process-wide *and* a fresh
+    :class:`~repro.observability.trace.Tracer` — the full telemetry
+    cost.  Arms alternate so clock drift and cache warmth hit both
+    equally; min-of-repeats discards scheduler noise.
+    """
+    from repro.observability.metrics import (MetricsRegistry,
+                                             disable_metrics,
+                                             enable_metrics)
+    from repro.observability.trace import Tracer
+    t_off = []
+    t_on = []
+    for _ in range(repeats):
+        t_off.append(bench_dne_end_to_end(graph, partitions,
+                                          "vectorized"))
+        enable_metrics(MetricsRegistry())
+        try:
+            t_on.append(bench_dne_end_to_end(graph, partitions,
+                                             "vectorized",
+                                             tracer=Tracer()))
+        finally:
+            disable_metrics()
+    return min(t_off), min(t_on)
 
 
 # ----------------------------------------------------------------------
@@ -613,6 +652,9 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
     ``serving_requests`` keep-alive bulk-``serving_bulk`` lookups
     against the live asyncio server (sustained lookups/sec, p99
     latency, and the non-200 count in the row's ``http_*`` fields).
+    The ``observability_overhead`` row (same scale) pairs an untraced
+    ``dne_p256`` run against one with the full telemetry plane live —
+    metrics registry installed and Chrome tracer attached.
 
     Returns the result document: ``{"meta": ..., "kernels": [rows]}``
     with one row per (kernel, scale) holding both kernels' seconds and
@@ -705,6 +747,22 @@ def run_perf(edge_scales=(12, 14, 17), partitions: int = 8,
     row = _row("serving_lookup", serving_scale, serving_graph, t_py,
                t_vec)
     row.update(http_stats)
+    rows.append(row)
+
+    # Telemetry overhead: traced vs untraced dne_p256 at the same
+    # scale (zero-cost-when-off, quantified; "python" is the untraced
+    # baseline here, like the backend rows' "simulated").
+    t_off, t_on = bench_observability_overhead(
+        serving_graph, wide_partitions, repeats=2)
+    row = _row("observability_overhead", serving_scale, serving_graph,
+               t_off, t_on)
+    row.update({
+        "baseline": "untraced",
+        "untraced_seconds": row["python_seconds"],
+        "traced_seconds": row["vectorized_seconds"],
+        "overhead_ratio": round(t_on / t_off, 4)
+        if t_off > 0 else float("inf"),
+    })
     rows.append(row)
 
     # Execution-backend rows: full vectorized DNE, simulated scheduler

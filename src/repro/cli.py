@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import logging
 import sys
 
 import numpy as np
@@ -47,6 +48,29 @@ from repro.partitioners import PARTITIONER_REGISTRY
 from repro.partitioners.io import load_partition, save_partition
 
 __all__ = ["main", "build_parser"]
+
+_LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+#: all CLI diagnostics flow through the ``repro.*`` logger namespace;
+#: command *output* (tables, metrics, stored-run ids) stays on stdout
+_log = logging.getLogger("repro.cli")
+
+
+def _configure_logging(level_name: str) -> None:
+    """Route ``repro.*`` diagnostics to stderr at the requested level.
+
+    The handler is attached once to the namespace root (``repro``) and
+    propagation stays on, so embedding applications and pytest's
+    ``caplog`` see the records too.  Default WARNING keeps tier-1
+    output byte-identical to the pre-logging CLI.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level_name))
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
 
 #: experiment name -> (driver, kwargs builder)
 _EXPERIMENTS = {
@@ -73,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Distributed NE reproduction: partition graphs and "
                     "rerun the paper's experiments.")
+    parser.add_argument("--log-level", choices=_LOG_LEVELS,
+                        default="WARNING",
+                        help="diagnostic verbosity on stderr for the "
+                             "repro.* loggers (default WARNING; command "
+                             "output on stdout is unaffected)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list methods and datasets")
@@ -136,6 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="respawn-and-retry budget for failed/"
                               "hung workers (requires --backend "
                               "processes)")
+
+    g_obs = p_part.add_argument_group(
+        "observability (methods with a tracer= flag)",
+        "Strictly observational: tracing on vs off is bit-identical "
+        "on assignments and accounting totals.")
+    g_obs.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write per-phase/per-superstep spans as "
+                            "Chrome trace-event JSON (loadable in "
+                            "Perfetto / chrome://tracing; summarize "
+                            "with `repro trace summarize FILE`)")
 
     p_inspect = sub.add_parser("inspect",
                                help="print metrics of a saved partition")
@@ -213,6 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--out", default="BENCH_kernels.json",
                         help="JSON output path ('-' to skip writing)")
 
+    p_trace = sub.add_parser(
+        "trace", help="work with Chrome trace-event files from "
+                      "--trace-out")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="print a per-phase time/ops table for a trace")
+    p_summarize.add_argument("path", help="trace JSON from --trace-out or "
+                                          "GET /api/runs/{id}/trace")
+
     p_app = sub.add_parser(
         "app", help="run a graph application on a saved partition")
     p_app.add_argument("name", choices=["sssp", "wcc", "pagerank"])
@@ -245,60 +293,63 @@ def _cmd_partition(args) -> int:
     else:
         graph = CSRGraph(load_edges_tsv(args.edges))
         label = args.edges
-    print(f"{label}: {graph.num_vertices} vertices, "
-          f"{graph.num_edges} edges")
+    _log.info("%s: %d vertices, %d edges", label, graph.num_vertices,
+              graph.num_edges)
 
     cls = PARTITIONER_REGISTRY[args.method]
     params = inspect.signature(cls.__init__).parameters
     kwargs = {}
     if args.kernel is not None:
         if "kernel" not in params:
-            print(f"error: method {args.method!r} has no kernel= flag",
-                  file=sys.stderr)
+            _log.error("method %r has no kernel= flag", args.method)
             return 2
         kwargs["kernel"] = args.kernel
     if args.workers is not None and args.backend not in ("threads",
                                                          "processes"):
-        print("error: --workers requires --backend threads|processes",
-              file=sys.stderr)
+        _log.error("--workers requires --backend threads|processes")
         return 2
     if args.backend is not None:
         if "backend" not in params:
-            print(f"error: method {args.method!r} has no backend= flag",
-                  file=sys.stderr)
+            _log.error("method %r has no backend= flag", args.method)
             return 2
         kwargs["backend"] = args.backend
         if args.workers is not None:
             kwargs["workers"] = args.workers
     if args.resume and args.checkpoint_dir is None:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        _log.error("--resume requires --checkpoint-dir")
         return 2
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
-        print("error: --checkpoint-every requires --checkpoint-dir",
-              file=sys.stderr)
+        _log.error("--checkpoint-every requires --checkpoint-dir")
         return 2
     if args.checkpoint_dir is not None:
         if "checkpoint_dir" not in params:
-            print(f"error: method {args.method!r} has no checkpoint_dir= "
-                  "flag", file=sys.stderr)
+            _log.error("method %r has no checkpoint_dir= flag", args.method)
             return 2
         kwargs["checkpoint_dir"] = args.checkpoint_dir
         kwargs["resume"] = args.resume
         if args.checkpoint_every is not None:
             if "checkpoint_every" not in params:
-                print(f"error: method {args.method!r} has no "
-                      "checkpoint_every= flag", file=sys.stderr)
+                _log.error("method %r has no checkpoint_every= flag",
+                           args.method)
                 return 2
             kwargs["checkpoint_every"] = args.checkpoint_every
     if args.step_timeout is not None or args.max_retries is not None:
         if args.backend != "processes":
-            print("error: --step-timeout/--max-retries require "
-                  "--backend processes", file=sys.stderr)
+            _log.error("--step-timeout/--max-retries require "
+                       "--backend processes")
             return 2
         if args.step_timeout is not None:
             kwargs["step_timeout"] = args.step_timeout
         if args.max_retries is not None:
             kwargs["max_retries"] = args.max_retries
+    tracer = None
+    if args.trace_out is not None:
+        if "tracer" not in params:
+            _log.error("method %r has no tracer= flag", args.method)
+            return 2
+        from repro.observability import Tracer
+        tracer = Tracer()
+        kwargs["tracer"] = tracer
     result = cls(args.partitions, seed=args.seed, **kwargs).partition(graph)
     print(f"method={result.method} partitions={args.partitions}")
     if args.kernel is not None:
@@ -313,6 +364,10 @@ def _cmd_partition(args) -> int:
     if result.iterations:
         print(f"  iterations         : {result.iterations}")
 
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"  trace              : {args.trace_out} "
+              f"({len(tracer)} events)")
     if args.out:
         save_partition(args.out, result)
         print(f"  saved to           : {args.out}")
@@ -401,6 +456,23 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.observability import load_trace, summarize
+    try:
+        rows = summarize(load_trace(args.path))
+    except (OSError, ValueError) as exc:
+        _log.error("cannot read trace %s: %s", args.path, exc)
+        return 2
+    if not rows:
+        print("no spans")
+        return 1
+    headers = ["cat", "name", "count", "total_ms", "executed", "skipped"]
+    print(format_table(
+        headers, [[row.get(h, "") for h in headers] for row in rows],
+        title=f"trace: {args.path}"))
+    return 0
+
+
 def _cmd_app(args) -> int:
     from repro.apps import pagerank, sssp, wcc
     part = load_partition(args.path)
@@ -424,6 +496,7 @@ def _cmd_app(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     handlers = {
         "list": _cmd_list,
         "partition": _cmd_partition,
@@ -432,6 +505,7 @@ def main(argv=None) -> int:
         "store": _cmd_store,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
         "app": _cmd_app,
     }
     try:

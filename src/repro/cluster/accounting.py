@@ -185,3 +185,18 @@ class ClusterStats:
             "total_bytes": self.total_bytes_sent,
             "peak_resident_bytes": self.peak_total_resident_bytes,
         }
+
+    def record_metrics(self, registry) -> None:
+        """Feed the run's final totals into a metrics registry.
+
+        Called once at end of run (never per message — telemetry must
+        not tax the message plane): counters accumulate across runs
+        sharing the registry, the peak gauge is last-run-wins.
+        """
+        registry.counter_inc("repro_cluster_messages_total",
+                             self.total_messages_sent)
+        registry.counter_inc("repro_cluster_bytes_total",
+                             self.total_bytes_sent)
+        registry.counter_inc("repro_cluster_barriers_total", self.barriers)
+        registry.gauge_set("repro_cluster_peak_resident_bytes",
+                           self.peak_total_resident_bytes)

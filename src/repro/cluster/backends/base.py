@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cluster.accounting import record_rpc_pair
+from repro.observability.trace import NULL_TRACER
 
 __all__ = ["BACKENDS", "validate_backend", "StepResult", "WorkerStepError",
            "ExecutionBackend", "SimulatedBackend", "apply_outbox"]
@@ -124,6 +125,10 @@ class ExecutionBackend:
     #: superstep bookkeeping: executed vs short-circuited steps
     steps_executed: int = 0
     steps_skipped: int = 0
+    #: span sink — the shared no-op by default, so tracing-off costs
+    #: one attribute check per superstep (drivers swap in a live
+    #: :class:`~repro.observability.trace.Tracer` after construction)
+    tracer = NULL_TRACER
 
     # -- lifecycle -----------------------------------------------------
     def attach(self, cluster, processes, plane=None) -> None:
@@ -149,6 +154,37 @@ class ExecutionBackend:
 
     # -- superstep execution -------------------------------------------
     def run_superstep(self, steps, gather=()) -> dict:
+        """Template method: execute the superstep, optionally traced.
+
+        Concrete backends implement :meth:`_execute_superstep`; this
+        wrapper emits exactly one span per superstep when a live
+        tracer is installed.  Step semantics, dispatch, and accounting
+        are untouched either way — the tracer only *observes* the
+        ``StepResult`` map (per-step compute seconds ride back from
+        the workers alongside the outbox replies), so span structure
+        is identical across backends and results are identical with
+        tracing on or off (pinned by ``tests/test_observability.py``).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._execute_superstep(steps, gather)
+        methods = {method for _, method, _ in steps if method is not None}
+        name = next(iter(methods)) if len(methods) == 1 else \
+            ("idle" if not methods else "mixed")
+        executed = sum(1 for _, method, _ in steps if method is not None)
+        t0 = time.perf_counter()
+        out = self._execute_superstep(steps, gather)
+        seconds = time.perf_counter() - t0
+        tracer.span(
+            f"superstep:{name}", cat="superstep", seconds=seconds,
+            args={"method": name, "steps": len(steps),
+                  "executed": executed,
+                  "skipped": len(steps) - executed,
+                  "busy_seconds": round(
+                      sum(r.seconds for r in out.values()), 9)})
+        return out
+
+    def _execute_superstep(self, steps, gather=()) -> dict:
         raise NotImplementedError
 
     def _count_steps(self, steps) -> None:
@@ -229,7 +265,7 @@ class SimulatedBackend(ExecutionBackend):
 
     name = "simulated"
 
-    def run_superstep(self, steps, gather=()) -> dict:
+    def _execute_superstep(self, steps, gather=()) -> dict:
         self._count_steps(steps)
         fused = self._fusable_method(steps)
         if fused is not None:

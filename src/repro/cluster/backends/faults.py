@@ -48,6 +48,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.metrics import get_registry
+
 __all__ = ["FaultPlan", "FAULT_KINDS"]
 
 #: actions a plan entry may carry (see the module docstring)
@@ -158,6 +160,8 @@ class FaultPlan:
         event = self._events.pop((worker, superstep), None)
         if event is not None:
             self.fired.append((worker, superstep) + event)
+            get_registry().counter_inc("repro_faults_injected_total",
+                                       kind=event[0])
         return event
 
     def take_task(self, attempt: int):
@@ -165,6 +169,8 @@ class FaultPlan:
         event = self._task_events.pop(int(attempt), None)
         if event is not None:
             self.fired.append(("task", int(attempt)) + event)
+            get_registry().counter_inc("repro_faults_injected_total",
+                                       kind=event[0])
         return event
 
     # -- inspection ----------------------------------------------------

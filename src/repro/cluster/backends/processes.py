@@ -72,6 +72,7 @@ from repro.cluster.backends.base import (ExecutionBackend, StepResult,
 from repro.cluster.backends.shm import ShmArena, graph_from_views, \
     graph_to_arrays
 from repro.cluster.runtime import SimulatedCluster
+from repro.observability.metrics import get_registry
 
 __all__ = ["ProcessesBackend", "WorkerProgram"]
 
@@ -447,6 +448,7 @@ class ProcessesBackend(ExecutionBackend):
     def _recv(self, w: int, timeout: float | None = None):
         conn = self._conns[w]
         if timeout is not None and not conn.poll(timeout):
+            get_registry().counter_inc("repro_worker_timeouts_total")
             raise WorkerStepError(
                 f"worker-{w}", f"step timed out after {timeout:g}s")
         try:
@@ -498,9 +500,10 @@ class ProcessesBackend(ExecutionBackend):
             raise WorkerStepError(f"worker-{w}",
                                   f"restore failed: {reply!r}")
         self.respawns += 1
+        get_registry().counter_inc("repro_worker_respawns_total")
 
     # ------------------------------------------------------------------
-    def run_superstep(self, steps, gather=()) -> dict:
+    def _execute_superstep(self, steps, gather=()) -> dict:
         assert self._started, "backend not started"
         self._count_steps(steps)
         self._superstep += 1
@@ -549,6 +552,7 @@ class ProcessesBackend(ExecutionBackend):
         for w in sorted(failures):
             error = failures.pop(w)
             for _ in range(self.max_retries):
+                get_registry().counter_inc("repro_worker_retries_total")
                 try:
                     self._respawn(w)
                     self._send_to(w, ("step", per_worker[w], inboxes[w],

@@ -72,7 +72,7 @@ class ThreadsBackend(ExecutionBackend):
         seconds = time.perf_counter() - t0
         return value, seconds, outbox, {a: getattr(proc, a) for a in gather}
 
-    def run_superstep(self, steps, gather=()) -> dict:
+    def _execute_superstep(self, steps, gather=()) -> dict:
         assert self._pool is not None, "backend not attached"
         self._count_steps(steps)
         fused = self._fusable_method(steps)

@@ -44,6 +44,9 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import time
+
+from repro.observability.metrics import get_registry
 
 __all__ = ["CheckpointStore", "CheckpointMismatch"]
 
@@ -93,6 +96,7 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     def save(self, step: int, payload: dict) -> str:
         """Write the snapshot for ``step`` atomically; prune old ones."""
+        t0 = time.perf_counter()
         path = self._path(step)
         tmp = path + ".tmp"
         with open(tmp, "wb") as fh:
@@ -103,11 +107,21 @@ class CheckpointStore:
                 os.remove(self._path(old))
             except FileNotFoundError:  # pragma: no cover - racing cleanup
                 pass
+        registry = get_registry()
+        registry.counter_inc("repro_checkpoint_writes_total")
+        registry.observe("repro_checkpoint_write_seconds",
+                         time.perf_counter() - t0)
         return path
 
     def load(self, step: int) -> dict:
+        t0 = time.perf_counter()
         with open(self._path(step), "rb") as fh:
-            return pickle.load(fh)
+            payload = pickle.load(fh)
+        registry = get_registry()
+        registry.counter_inc("repro_checkpoint_restores_total")
+        registry.observe("repro_checkpoint_restore_seconds",
+                         time.perf_counter() - t0)
+        return payload
 
     def load_latest(self) -> dict | None:
         """The most recent snapshot, or ``None`` when the store is empty."""

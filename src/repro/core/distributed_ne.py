@@ -65,6 +65,8 @@ from repro.core.fused import FusedDnePlane
 from repro.core.hash2d import Hash1DPlacement, Hash2DPlacement
 from repro.graph.csr import CSRGraph
 from repro.kernels import validate_kernel
+from repro.observability.metrics import get_registry
+from repro.observability.trace import NULL_TRACER
 from repro.partitioners.base import EdgePartition, Partitioner
 
 __all__ = ["DistributedNE", "DneWorkerProgram", "SharedSeedSource"]
@@ -262,6 +264,13 @@ class DistributedNE(Partitioner):
         (``backend="processes"`` only) a
         :class:`~repro.cluster.backends.faults.FaultPlan` injecting
         deterministic worker faults — the test harness for the above.
+    tracer:
+        A :class:`~repro.observability.trace.Tracer` collecting
+        per-phase and per-superstep spans (``None``, the default, is
+        the shared no-op).  Strictly observational: tracing on vs off
+        is bit-identical on assignments and every accounting total,
+        and span *structure* is identical across backends — both
+        pinned by ``tests/test_observability.py``.
     """
 
     name = "distributed_ne"
@@ -281,7 +290,8 @@ class DistributedNE(Partitioner):
                  resume: bool = False,
                  step_timeout: float | None = None,
                  max_retries: int = 0,
-                 fault_plan=None):
+                 fault_plan=None,
+                 tracer=None):
         super().__init__(num_partitions, seed)
         if alpha < 1.0:
             raise ValueError("imbalance factor alpha must be >= 1.0")
@@ -320,6 +330,7 @@ class DistributedNE(Partitioner):
         self.step_timeout = step_timeout
         self.max_retries = max_retries
         self.fault_plan = fault_plan
+        self.tracer = tracer
 
     def _use_fused(self) -> bool:
         """Fused dispatch applies only to the vectorized kernel."""
@@ -372,6 +383,33 @@ class DistributedNE(Partitioner):
             step_timeout=self.step_timeout,
             max_retries=self.max_retries or None,
             fault_plan=self.fault_plan)
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
+        backend.tracer = tracer
+        if tracer.enabled:
+            # Backend identity travels as a metadata event, never as a
+            # span arg — span structure must be backend-independent.
+            tracer.metadata("backend", {"name": self.backend})
+        t_run = time.perf_counter()
+
+        def traced_superstep(phase, steps, gather=()):
+            """One driver phase: the superstep plus a phase span.
+
+            Tracing never changes what is submitted — the phase span
+            is derived from the same step list the backend receives,
+            so executed/skipped counts reconcile with the ledger.
+            """
+            if not tracer.enabled:
+                return backend.run_superstep(steps, gather)
+            tp = time.perf_counter()
+            out = backend.run_superstep(steps, gather)
+            executed = sum(1 for _, m, _ in steps if m is not None)
+            tracer.span(f"phase:{phase}", cat="phase",
+                        seconds=time.perf_counter() - tp,
+                        args={"phase": phase, "iteration": iterations,
+                              "executed": executed,
+                              "skipped": len(steps) - executed})
+            return out
+
         try:
             if isinstance(backend, ProcessesBackend):
                 self._start_processes(backend, cluster, graph, placement,
@@ -455,7 +493,8 @@ class DistributedNE(Partitioner):
                 iterations += 1
                 # Step 1: selection + multicast (a finished process's
                 # step is `return 0`; skip it).
-                sel = backend.run_superstep(
+                sel = traced_superstep(
+                    "selection",
                     [(pid, None if finished_prev[pid]
                       else "select_and_multicast", ())
                      for pid in exp_pids],
@@ -472,7 +511,8 @@ class DistributedNE(Partitioner):
                 ta = time.perf_counter()
                 one_ran = {pid: (pid, TAG_SELECT) in delivered
                            for pid in alloc_pids}
-                one = backend.run_superstep(  # Step 3
+                one = traced_superstep(  # Step 3
+                    "one_hop",
                     [(pid, "one_hop_and_sync" if one_ran[pid] else None, ())
                      for pid in alloc_pids])
                 slowest = max(r.seconds for r in one.values())
@@ -481,7 +521,8 @@ class DistributedNE(Partitioner):
                 # one-hop outboxes and reports memory) or sync mail
                 # arrived; with neither it would only re-report
                 # unchanged residents.
-                two = backend.run_superstep(  # Step 4
+                two = traced_superstep(  # Step 4
+                    "two_hop",
                     [(pid, "two_hop_and_report"
                       if one_ran[pid] or (pid, TAG_SYNC) in delivered
                       else None, ())
@@ -500,7 +541,8 @@ class DistributedNE(Partitioner):
                 allocation_seconds += time.perf_counter() - ta
                 cluster.barrier()          # Step 5
 
-                upd = backend.run_superstep(
+                upd = traced_superstep(
+                    "update_state",
                     [(pid, "update_state"
                       if (pid, TAG_BOUNDARY) in delivered
                       or (pid, TAG_EDGES) in delivered else None, ())
@@ -511,7 +553,8 @@ class DistributedNE(Partitioner):
                      for pid in exp_pids}))
                 term_gather = (("finished", "boundary_size")
                                if self.collect_history else ("finished",))
-                term = backend.run_superstep(
+                term = traced_superstep(
+                    "check_termination",
                     [(pid, "check_termination", (global_allocated,))
                      for pid in exp_pids],
                     gather=term_gather)
@@ -580,6 +623,17 @@ class DistributedNE(Partitioner):
             steps_skipped = backend.steps_skipped
         finally:
             backend.close()
+
+        if tracer.enabled:
+            tracer.span("run:distributed_ne", cat="run",
+                        seconds=time.perf_counter() - t_run,
+                        args={"method": self.name, "kernel": self.kernel,
+                              "partitions": p, "iterations": iterations,
+                              "executed": steps_executed,
+                              "skipped": steps_skipped})
+        registry = get_registry()
+        if registry.enabled:
+            cluster.stats.record_metrics(registry)
 
         stats = cluster.stats.summary()
         extra = {

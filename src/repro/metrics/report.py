@@ -10,6 +10,7 @@ table the CLI's ``inspect`` command prints.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -26,6 +27,10 @@ if TYPE_CHECKING:  # avoid a metrics <-> partitioners import cycle
     from repro.partitioners.base import EdgePartition
 
 __all__ = ["PartitionReport", "partition_report", "format_report"]
+
+#: diagnostics only (``repro --log-level DEBUG``); report *output*
+#: goes through :func:`format_report`, never the logger
+_log = logging.getLogger("repro.metrics.report")
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,9 @@ def partition_report(partition: "EdgePartition") -> PartitionReport:
         first[1:] = vertices[1:] != vertices[:-1]
         mirror_counts = np.bincount(owners[~first], minlength=p)
 
+    _log.debug("report for %s: P=%d, |V|=%d, |E|=%d",
+               partition.method or "<unnamed>", p, graph.num_vertices,
+               graph.num_edges)
     mean_edges = edge_counts.mean() if p else 0.0
     mean_vertices = vertex_counts.mean() if p else 0.0
     return PartitionReport(

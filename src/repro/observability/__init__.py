@@ -1,0 +1,21 @@
+"""Observability plane: metrics registry + superstep tracer.
+
+Both halves default to shared no-op implementations, so the rest of
+the repo can instrument unconditionally without paying for telemetry
+nobody asked for — and, more importantly, without being able to
+perturb results (the neutrality pin lives in
+``tests/test_observability.py``).
+"""
+
+from repro.observability.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                                         NullMetricsRegistry,
+                                         disable_metrics, enable_metrics,
+                                         get_registry)
+from repro.observability.trace import (NULL_TRACER, NullTracer, Tracer,
+                                       load_trace, summarize)
+
+__all__ = [
+    "MetricsRegistry", "NullMetricsRegistry", "DEFAULT_BUCKETS",
+    "get_registry", "enable_metrics", "disable_metrics",
+    "Tracer", "NullTracer", "NULL_TRACER", "load_trace", "summarize",
+]

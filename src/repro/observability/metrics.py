@@ -1,0 +1,267 @@
+"""Metrics registry: counters, gauges, bounded histograms.
+
+The telemetry half of the observability plane (the other half is
+:mod:`repro.observability.trace`).  A :class:`MetricsRegistry` holds
+three families of named, optionally-labelled series:
+
+* **counters** — monotonically increasing totals (messages sent,
+  checkpoint writes, worker respawns, HTTP requests);
+* **gauges** — last-write-wins values (peak resident bytes, cache
+  occupancy);
+* **histograms** — bounded bucket counts over *fixed* edges plus a
+  running sum/count (checkpoint write latency, HTTP request latency).
+  Buckets are fixed at first observation of a series, so memory is
+  O(series × buckets) no matter how long the process lives.
+
+:meth:`MetricsRegistry.render_prometheus` emits the classic Prometheus
+text exposition format (``# TYPE`` comments, cumulative ``_bucket``
+lines with ``le`` labels, ``_sum``/``_count``), which is what
+``GET /metrics`` on the serving API returns.
+
+Zero-cost-when-off contract
+---------------------------
+The process-global registry returned by :func:`get_registry` defaults
+to a :class:`NullMetricsRegistry` whose recording methods are no-ops
+and whose ``enabled`` flag is ``False`` — instrumentation sites either
+call the no-ops (rare events: respawns, checkpoint writes) or guard
+whole blocks with ``registry.enabled`` (per-run summaries).  Metrics
+are **never** consulted by any algorithm: enabling them cannot change
+assignments, ops counters, or accounting totals (pinned by
+``tests/test_observability.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+__all__ = ["MetricsRegistry", "NullMetricsRegistry", "DEFAULT_BUCKETS",
+           "get_registry", "enable_metrics", "disable_metrics"]
+
+#: default histogram bucket upper bounds, in seconds — spans the
+#: microsecond-to-minutes range the repo's latencies actually occupy
+DEFAULT_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1,
+                   0.5, 1.0, 5.0, 30.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _render_labels(key: tuple, extra: tuple = ()) -> str:
+    pairs = [f'{k}="{_escape(v)}"' for k, v in (*key, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class NullMetricsRegistry:
+    """The default no-op registry: recording costs one method call.
+
+    ``enabled`` is ``False`` so hot call sites can skip whole
+    instrumentation blocks with a single attribute check.
+    """
+
+    enabled = False
+
+    def counter_inc(self, name: str, value: float = 1, **labels) -> None:
+        pass
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        pass
+
+    def observe(self, name: str, value: float, buckets=None,
+                **labels) -> None:
+        pass
+
+    def counter_total(self, name: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+class MetricsRegistry:
+    """Thread-safe in-process metrics store.
+
+    Series are identified by ``(name, sorted-label-items)``.  Names
+    must match the Prometheus identifier grammar (validated once per
+    name); by convention counters end in ``_total`` and latency
+    histograms in ``_seconds``.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        #: (name, labels) -> [bucket_counts (len(edges) + 1), sum, count]
+        self._hists: dict = {}
+        #: name -> fixed bucket edges (ascending)
+        self._hist_edges: dict = {}
+        self._valid_names: set = set()
+
+    # -- recording -----------------------------------------------------
+    def _check_name(self, name: str, labels: dict) -> None:
+        if name in self._valid_names:
+            return
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._valid_names.add(name)
+
+    def counter_inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (>= 0) to a counter series."""
+        if value < 0:
+            raise ValueError("counters only go up")
+        self._check_name(name, labels)
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        self._check_name(name, labels)
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, buckets=None,
+                **labels) -> None:
+        """Record one observation into a bounded histogram.
+
+        ``buckets`` (ascending upper bounds) is honoured on the first
+        observation of ``name`` and fixed thereafter — mixed edges
+        within one name would render an inconsistent exposition.
+        """
+        self._check_name(name, labels)
+        key = (name, _label_key(labels))
+        with self._lock:
+            edges = self._hist_edges.get(name)
+            if edges is None:
+                edges = tuple(buckets) if buckets is not None \
+                    else DEFAULT_BUCKETS
+                if list(edges) != sorted(edges) or not edges:
+                    raise ValueError("bucket edges must be ascending")
+                self._hist_edges[name] = edges
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = [[0] * (len(edges) + 1), 0.0, 0]
+                self._hists[key] = hist
+            slot = len(edges)  # +Inf overflow bucket
+            for i, edge in enumerate(edges):
+                if value <= edge:
+                    slot = i
+                    break
+            hist[0][slot] += 1
+            hist[1] += value
+            hist[2] += 1
+
+    # -- reading -------------------------------------------------------
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all of its label sets."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items()
+                       if n == name)
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (keys ``name{label="v",...}``) for tests."""
+        def flat(series):
+            return {name + _render_labels(key): value
+                    for (name, key), value in series.items()}
+        with self._lock:
+            return {"counters": flat(self._counters),
+                    "gauges": flat(self._gauges),
+                    "histograms": {
+                        name + _render_labels(key): {
+                            "count": hist[2], "sum": hist[1]}
+                        for (name, key), hist in self._hists.items()}}
+
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition format 0.0.4."""
+        lines = []
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = {key: ([*h[0]], h[1], h[2])
+                     for key, h in self._hists.items()}
+            hist_edges = dict(self._hist_edges)
+        for kind, series in (("counter", counters), ("gauge", gauges)):
+            for name in sorted({n for n, _ in series}):
+                lines.append(f"# TYPE {name} {kind}")
+                for (n, key), value in sorted(series.items()):
+                    if n == name:
+                        lines.append(f"{name}{_render_labels(key)} "
+                                     f"{_format_value(value)}")
+        for name in sorted({n for n, _ in hists}):
+            edges = hist_edges[name]
+            lines.append(f"# TYPE {name} histogram")
+            for (n, key), (buckets, total, count) in sorted(hists.items()):
+                if n != name:
+                    continue
+                running = 0
+                for edge, bucket in zip(edges, buckets):
+                    running += bucket
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_render_labels(key, (('le', repr(float(edge))),))}"
+                        f" {running}")
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_render_labels(key, (('le', '+Inf'),))} {count}")
+                lines.append(f"{name}_sum{_render_labels(key)} "
+                             f"{_format_value(total)}")
+                lines.append(f"{name}_count{_render_labels(key)} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# process-global registry
+# ----------------------------------------------------------------------
+_NULL = NullMetricsRegistry()
+_registry = _NULL
+
+
+def get_registry():
+    """The process-global registry (a shared no-op until enabled)."""
+    return _registry
+
+
+def enable_metrics(registry: MetricsRegistry | None = None):
+    """Install (and return) a live process-global registry.
+
+    Idempotent when already enabled: with no explicit ``registry`` the
+    existing live registry is kept, so independent consumers (the
+    serving API, a bench harness) can all call this and share one
+    registry.
+    """
+    global _registry
+    if registry is not None:
+        _registry = registry
+    elif not _registry.enabled:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def disable_metrics() -> None:
+    """Swap the shared no-op registry back in (drops recorded data)."""
+    global _registry
+    _registry = _NULL

@@ -1,0 +1,158 @@
+"""Superstep/phase tracer with Chrome trace-event export.
+
+The tracing half of the observability plane.  A :class:`Tracer`
+collects *spans* — named, categorised intervals with structured args —
+from the execution backends (one span per superstep) and the DNE
+driver loop (one span per phase per iteration, plus a run-level
+span).  :meth:`Tracer.to_chrome` renders them as Chrome trace-event
+JSON (``{"traceEvents": [...]}``) which loads directly in Perfetto /
+``chrome://tracing``; ``repro partition --trace-out FILE`` writes it
+and ``repro trace summarize FILE`` prints a per-phase table.
+
+Determinism contract
+--------------------
+Only wall-clock fields (``ts``/``dur`` and any span arg whose key ends
+in ``_seconds``) may differ between runs or backends.
+:meth:`Tracer.structure` projects those fields away; the remaining
+(name, category, args) sequence is pinned identical across
+``simulated``/``threads``/``processes`` for a fixed seed by
+``tests/test_observability.py``.  Backend identity is therefore
+carried in a metadata event (``"ph": "M"``), not in span args.
+
+The default tracer on every backend is the shared :data:`NULL_TRACER`
+(``enabled = False``); instrumentation sites guard on that single
+attribute, so tracing-off costs one attribute check per superstep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "load_trace",
+           "summarize"]
+
+
+class NullTracer:
+    """No-op tracer; ``enabled`` is False so call sites skip timing."""
+
+    enabled = False
+
+    def span(self, name, cat="", seconds=0.0, args=None, tid=0):
+        pass
+
+    def metadata(self, name, args=None):
+        pass
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def structure(self) -> list:
+        return []
+
+
+#: shared default tracer — backends carry this as a class attribute
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans; thread-safe (parallel backends may emit)."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._t0 = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name, cat="", seconds=0.0, args=None, tid=0):
+        """Record a completed interval that ended *now* and lasted
+        ``seconds`` (Chrome complete event, ``"ph": "X"``)."""
+        now = time.perf_counter() - self._t0
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round(max(0.0, now - seconds) * 1e6, 3),
+            "dur": round(seconds * 1e6, 3),
+            "pid": 0,
+            "tid": tid,
+            "args": dict(args) if args else {},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def metadata(self, name, args=None):
+        """Record a metadata event (``"ph": "M"``) — e.g. the backend
+        name; excluded from :meth:`structure` by design."""
+        event = {"name": name, "cat": "__metadata", "ph": "M",
+                 "ts": 0, "pid": 0, "tid": 0,
+                 "args": dict(args) if args else {}}
+        with self._lock:
+            self._events.append(event)
+
+    # -- export --------------------------------------------------------
+    def to_chrome(self) -> dict:
+        with self._lock:
+            return {"traceEvents": [dict(e) for e in self._events],
+                    "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+            fh.write("\n")
+
+    def structure(self) -> list:
+        """The deterministic projection of the trace: ``(name, cat,
+        tid, sorted non-wall-clock args)`` per complete span, in
+        emission order.  Wall clock (``ts``/``dur`` and args ending in
+        ``_seconds``) is excluded — the same ignore rule
+        ``check_results_drift.py`` applies to bench rows."""
+        with self._lock:
+            return [(e["name"], e["cat"], e["tid"],
+                     tuple(sorted((k, v) for k, v in e["args"].items()
+                                  if not k.endswith("_seconds"))))
+                    for e in self._events if e["ph"] == "X"]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ----------------------------------------------------------------------
+# offline helpers (``repro trace summarize``)
+# ----------------------------------------------------------------------
+def load_trace(path) -> list[dict]:
+    """Load the event list from a Chrome trace-event JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", doc) if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return events
+
+def summarize(events) -> list[dict]:
+    """Aggregate complete spans by (cat, name): count, total wall
+    time, and summed executed/skipped step counts where present."""
+    groups: dict = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        key = (event.get("cat", ""), event.get("name", ""))
+        row = groups.get(key)
+        if row is None:
+            row = groups[key] = {"cat": key[0], "name": key[1],
+                                 "count": 0, "total_ms": 0.0,
+                                 "executed": 0, "skipped": 0}
+        row["count"] += 1
+        row["total_ms"] += event.get("dur", 0) / 1e3
+        args = event.get("args") or {}
+        row["executed"] += int(args.get("executed", 0))
+        row["skipped"] += int(args.get("skipped", 0))
+    rows = sorted(groups.values(),
+                  key=lambda r: (-r["total_ms"], r["cat"], r["name"]))
+    for row in rows:
+        row["total_ms"] = round(row["total_ms"], 3)
+    return rows

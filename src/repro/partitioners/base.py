@@ -29,6 +29,7 @@ from repro.metrics.quality import (
     validate_assignment,
     vertex_balance,
 )
+from repro.observability.metrics import get_registry
 
 __all__ = ["EdgePartition", "VertexPartition", "Partitioner",
            "StreamingEdgePartitioner", "timed_partition"]
@@ -135,6 +136,12 @@ class Partitioner:
         start = time.perf_counter()
         result = self._partition(graph)
         result.elapsed_seconds = time.perf_counter() - start
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter_inc("repro_partition_runs_total",
+                                 method=self.name)
+            registry.observe("repro_partition_seconds",
+                             result.elapsed_seconds, method=self.name)
         return result
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:

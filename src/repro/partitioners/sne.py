@@ -30,12 +30,15 @@ All backends are bit-identical on the assignment and on the reported
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.cluster.backends import create_backend, validate_backend
 from repro.cluster.checkpoint import CheckpointStore
 from repro.graph.csr import CSRGraph
 from repro.kernels import validate_kernel
+from repro.observability.trace import NULL_TRACER
 from repro.partitioners.base import EdgePartition, Partitioner
 from repro.partitioners.ne import ExpansionState, _sweep_leftovers
 
@@ -170,7 +173,7 @@ class SNEPartitioner(Partitioner):
                  backend: str = "simulated", workers: int | None = None,
                  checkpoint_dir: str | None = None, resume: bool = False,
                  step_timeout: float | None = None, max_retries: int = 0,
-                 fault_plan=None):
+                 fault_plan=None, tracer=None):
         super().__init__(num_partitions, seed)
         if buffer_factor <= 0:
             raise ValueError("buffer_factor must be positive")
@@ -193,11 +196,14 @@ class SNEPartitioner(Partitioner):
         self.step_timeout = step_timeout
         self.max_retries = max_retries
         self.fault_plan = fault_plan
+        self.tracer = tracer
 
     def _partition(self, graph: CSRGraph) -> EdgePartition:
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
         args = (self.num_partitions, self.seed, self.alpha,
                 self.buffer_factor, self.shuffle, self.kernel,
                 self.checkpoint_dir, self.resume)
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         if self.backend == "simulated":
             assignment, extra = _run_sne_stream(graph, *args)
         else:
@@ -211,6 +217,16 @@ class SNEPartitioner(Partitioner):
                     _run_sne_stream, graph, *args)
             finally:
                 backend.close()
+        if tracer.enabled:
+            # One span for the whole stream (it is a single sequential
+            # graph task on every backend, so the structure is
+            # backend-independent by construction); backend identity
+            # rides in a metadata event, like the DNE driver's.
+            tracer.metadata("backend", {"name": self.backend})
+            tracer.span("graph_task:sne_stream", cat="graph_task",
+                        seconds=time.perf_counter() - t0,
+                        args={"method": self.name, "kernel": self.kernel,
+                              "partitions": self.num_partitions})
         extra["backend"] = self.backend
         return EdgePartition(graph, self.num_partitions, assignment,
                              method=self.name, extra=extra)

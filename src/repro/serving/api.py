@@ -22,6 +22,13 @@ keyset-cursor contract of :meth:`RunStore.boundary_page`: pass the
 ``next_cursor`` from one page as ``cursor`` of the next; cursors are
 stable under concurrent run inserts because the key is the immutable
 vertex id of one frozen run.
+
+Observability: the API owns a live
+:class:`~repro.observability.metrics.MetricsRegistry` (installed
+process-wide via :func:`enable_metrics`, so cluster counters from
+background jobs land in the same registry) and serves it as Prometheus
+text on ``GET /metrics``.  Jobs whose partitioner accepts ``tracer=``
+record a Chrome trace, retrievable from ``GET /api/runs/{id}/trace``.
 """
 
 from __future__ import annotations
@@ -29,16 +36,21 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.observability.metrics import enable_metrics
 from repro.serving.lookup import LookupRangeError, LookupService
 from repro.serving.store import RunStore, StoreError
 
 __all__ = ["ServingAPI", "ApiError", "BackgroundServer", "serve"]
+
+_log = logging.getLogger("repro.serving")
 
 #: hard page-size ceiling (Snippet-3 style: default 50, max 200)
 MAX_PAGE_LIMIT = 200
@@ -88,36 +100,67 @@ class ServingAPI:
 
     def __init__(self, store: RunStore, *,
                  lookup: LookupService | None = None,
-                 hot_vertices: int = 4096):
+                 hot_vertices: int = 4096, registry=None):
         self.store = store
         self.lookup = lookup or LookupService(store,
                                               hot_vertices=hot_vertices)
+        # The serving plane is the one place metrics default to *on*:
+        # installing the registry process-wide means cluster counters
+        # from background partitioning jobs land in the same /metrics
+        # output.  Pass an explicit registry (e.g. a NullMetricsRegistry)
+        # to opt out.
+        self.registry = registry if registry is not None else \
+            enable_metrics()
+        self._traces: dict[int, dict] = {}
         self._jobs: dict[int, _Job] = {}
         self._jobs_lock = threading.Lock()
 
     # -- dispatch ------------------------------------------------------
     def handle(self, method: str, path: str, query: dict | None = None,
-               body: bytes | None = None) -> tuple[int, dict]:
-        """Route one request; returns ``(status, json_payload)``.
+               body: bytes | None = None) -> tuple[int, dict | str]:
+        """Route one request; returns ``(status, payload)``.
 
-        ``query`` accepts plain scalars or ``parse_qs``-style value
-        lists (the socket layer passes the latter; repeated parameters
-        resolve to their last value).  Never raises for client-visible
-        conditions — bad routes, parameters, and ids come back as 4xx
-        payloads with an ``error`` key.
+        ``payload`` is a JSON-serialisable dict everywhere except
+        ``GET /metrics``, which returns the Prometheus exposition as a
+        plain string.  ``query`` accepts plain scalars or
+        ``parse_qs``-style value lists (the socket layer passes the
+        latter; repeated parameters resolve to their last value).
+        Never raises for client-visible conditions — bad routes,
+        parameters, and ids come back as 4xx payloads with an
+        ``error`` key.
         """
         query = {k: v if isinstance(v, list) else [str(v)]
                  for k, v in (query or {}).items()}
+        start = time.perf_counter()
         try:
-            return self._route(method.upper(), path, query, body)
+            status, payload = self._route(method.upper(), path, query,
+                                          body)
         except ApiError as exc:
-            return exc.status, {"error": exc.message}
+            status, payload = exc.status, {"error": exc.message}
         except (StoreError, LookupRangeError) as exc:
             status = 404 if isinstance(exc, StoreError) else 400
-            return status, {"error": str(exc)}
+            payload = {"error": str(exc)}
+        if self.registry.enabled:
+            route = _route_label(path)
+            self.registry.counter_inc("repro_http_requests_total",
+                                      route=route, status=str(status))
+            self.registry.observe("repro_http_request_seconds",
+                                  time.perf_counter() - start,
+                                  route=route)
+        return status, payload
+
+    def request_count(self) -> int:
+        """Total requests handled (all routes, all statuses)."""
+        return int(self.registry.counter_total(
+            "repro_http_requests_total"))
 
     def _route(self, method, path, query, body):
         seg = [s for s in path.split("/") if s]
+        # /metrics sits outside the /api JSON namespace (Prometheus
+        # convention), but /api/metrics works too for uniform clients.
+        if seg in (["metrics"], ["api", "metrics"]):
+            self._require(method, "GET")
+            return 200, self.render_metrics()
         if not seg or seg[0] != "api":
             raise ApiError(404, f"unknown path {path!r}")
         seg = seg[1:]
@@ -148,6 +191,9 @@ class ServingAPI:
                 self._require(method, "GET")
                 return 200, {"run_id": run_id,
                              "metrics": self.store.metrics(run_id)}
+            if rest == ["trace"]:
+                self._require(method, "GET")
+                return self._run_trace(run_id)
             if rest == ["lookup"]:
                 self._require(method, "POST")
                 return self._bulk_lookup(run_id, body)
@@ -185,7 +231,40 @@ class ServingAPI:
     def _run_detail(self, run_id):
         run = self.store.get_run(run_id)
         run["metrics"] = self.store.metrics(run_id)
+        run["cache"] = {"hot_vertices": self.lookup.cache_info(),
+                        "run_arrays": self.lookup.run_cache_info()}
         return 200, run
+
+    def _run_trace(self, run_id):
+        self.store.get_run(run_id)  # 404 for unknown runs
+        trace = self._traces.get(run_id)
+        if trace is None:
+            raise ApiError(404, f"run {run_id} has no recorded trace "
+                                "(only runs produced by jobs whose "
+                                "method takes tracer= record one)")
+        return 200, trace
+
+    # -- observability -------------------------------------------------
+    def render_metrics(self) -> str:
+        """Prometheus text for ``GET /metrics``.
+
+        Point-in-time gauges (cache hit/miss counters, stored-run
+        count) are refreshed at render time; everything else — request
+        counters, latency histograms, cluster totals from jobs — is
+        accumulated in the registry as it happens.
+        """
+        registry = self.registry
+        if registry.enabled:
+            for prefix, info in (
+                    ("repro_lookup_hot_cache", self.lookup.cache_info()),
+                    ("repro_lookup_run_cache",
+                     self.lookup.run_cache_info())):
+                registry.gauge_set(f"{prefix}_hits", info["hits"])
+                registry.gauge_set(f"{prefix}_misses", info["misses"])
+                registry.gauge_set(f"{prefix}_entries", info["entries"])
+            registry.gauge_set("repro_store_runs",
+                               self.store.run_count())
+        return registry.render_prometheus()
 
     def _vertex(self, run_id, vertex):
         parts = self.lookup.vertex_lookup(run_id, vertex)
@@ -326,9 +405,9 @@ class ServingAPI:
             job.state = "running"
         try:
             cls = PARTITIONER_REGISTRY[req["method"]]
+            params = _inspect.signature(cls.__init__).parameters
             kwargs = {}
             if req.get("checkpoint_every") is not None:
-                params = _inspect.signature(cls.__init__).parameters
                 if "checkpoint_dir" not in params:
                     raise ValueError(
                         f"method {req['method']!r} does not support "
@@ -338,6 +417,11 @@ class ServingAPI:
                 kwargs["checkpoint_dir"] = job.checkpoint_dir
                 if "checkpoint_every" in params:
                     kwargs["checkpoint_every"] = req["checkpoint_every"]
+            tracer = None
+            if "tracer" in params:
+                from repro.observability.trace import Tracer
+                tracer = Tracer()
+                kwargs["tracer"] = tracer
             graph = load_dataset(req["dataset"], seed=req["seed"])
             result = cls(req["partitions"], seed=req["seed"],
                          **kwargs).partition(graph)
@@ -345,6 +429,8 @@ class ServingAPI:
                 result, seed=req["seed"],
                 label=req.get("label", req["dataset"]),
                 source=f"job:{job.job_id}")
+            if tracer is not None and len(tracer):
+                self._traces[run_id] = tracer.to_chrome()
             with job.lock:
                 job.run_id = run_id
                 job.state = "done"
@@ -357,6 +443,37 @@ class ServingAPI:
 # ----------------------------------------------------------------------
 # request/parameter helpers
 # ----------------------------------------------------------------------
+#: run sub-resources that map to their own route label
+_RUN_SUBROUTES = frozenset(
+    {"metrics", "lookup", "boundary", "replicas", "trace"})
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path to a bounded route-template label.
+
+    Ids are replaced with ``{id}`` placeholders so the
+    ``repro_http_requests_total`` label set stays small no matter how
+    many runs/vertices a client walks; anything unrecognised (which a
+    client can mint freely) collapses to ``"other"``.
+    """
+    seg = [s for s in path.split("/") if s]
+    if seg in (["metrics"], ["api", "metrics"]):
+        return "/metrics"
+    if not seg or seg[0] != "api":
+        return "other"
+    seg = seg[1:]
+    if seg in ([], ["health"], ["runs"], ["jobs"]):
+        return "/api/" + "/".join(seg) if seg else "/api"
+    if len(seg) == 2 and seg[0] in ("jobs", "runs"):
+        return f"/api/{seg[0]}/{{id}}"
+    if len(seg) == 3 and seg[0] == "runs" and seg[2] in _RUN_SUBROUTES:
+        return f"/api/runs/{{id}}/{seg[2]}"
+    if len(seg) == 4 and seg[0] == "runs" and seg[2] in ("vertex",
+                                                         "edge"):
+        return f"/api/runs/{{id}}/{seg[2]}/{{id}}"
+    return "other"
+
+
 def _int(text: str, what: str) -> int:
     try:
         return int(text)
@@ -419,6 +536,7 @@ class _HttpServer:
 
     async def client(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
+        self.api.registry.counter_inc("repro_http_connections_total")
         try:
             while True:
                 keep_alive = await self._one_request(reader, writer)
@@ -488,15 +606,20 @@ class _HttpServer:
         return keep_alive
 
     @staticmethod
-    async def _respond(writer, status: int, payload: dict,
+    async def _respond(writer, status: int, payload,
                        close: bool) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # /metrics Prometheus exposition
+            body = payload.encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            ctype = "application/json"
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
                   404: "Not Found", 405: "Method Not Allowed",
                   413: "Payload Too Large",
                   500: "Internal Server Error"}.get(status, "Status")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: {'close' if close else 'keep-alive'}\r\n"
                 "\r\n").encode("latin-1")
@@ -520,6 +643,19 @@ async def _serve_async(api: ServingAPI, host: str, port: int,
         http.pool.shutdown(wait=False)
 
 
+def _log_shutdown(api: ServingAPI) -> None:
+    """Drained-connection summary, emitted once per server lifetime.
+
+    Load tests assert on these numbers (``repro --log-level INFO
+    serve``), so the line always carries both totals even when the
+    registry was disabled (they read 0 then).
+    """
+    _log.info("serving shut down: %d requests on %d connections",
+              api.request_count(),
+              int(api.registry.counter_total(
+                  "repro_http_connections_total")))
+
+
 def serve(api: ServingAPI, host: str = "127.0.0.1",
           port: int = 8080) -> None:
     """Run the server in the calling thread until interrupted."""
@@ -527,6 +663,8 @@ def serve(api: ServingAPI, host: str = "127.0.0.1",
         asyncio.run(_serve_async(api, host, port))
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
+    finally:
+        _log_shutdown(api)
 
 
 class BackgroundServer:
@@ -541,6 +679,7 @@ class BackgroundServer:
     def __init__(self, api: ServingAPI, host: str = "127.0.0.1",
                  port: int = 0):
         self.host = host
+        self._api = api
         self._ready = threading.Event()
         self._bound: list = []
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -583,6 +722,7 @@ class BackgroundServer:
 
         loop.call_soon_threadsafe(_cancel_all)
         self._thread.join(timeout=10)
+        _log_shutdown(self._api)
 
     def __enter__(self) -> "BackgroundServer":
         return self

@@ -118,6 +118,12 @@ class LookupService:
                 "entries": len(self._hot),
                 "capacity": self._hot.capacity}
 
+    def run_cache_info(self) -> dict:
+        """Hit/miss counters of the per-run mmap-array LRU."""
+        return {"hits": self._runs.hits, "misses": self._runs.misses,
+                "entries": len(self._runs),
+                "capacity": self._runs.capacity}
+
     # -- single lookups ------------------------------------------------
     def vertex_lookup(self, run_id: int, vertex: int) -> tuple:
         """Replica set of one vertex, through the hot-vertex LRU."""
